@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: per-region load share vs input size for
+ * search's replicate regions when one region is 30% slower. The hoisted
+ * allocator's free-pointer queue provides round-robin load balancing
+ * with throughput feedback: small inputs split evenly (12.5% each of 8
+ * regions); large inputs shift work from the slow region (<10%) to the
+ * fast ones (~14%), avoiding the slowdown of a static split.
+ */
+
+#include <cstdio>
+
+#include "sim/loadbalance.hh"
+
+int
+main()
+{
+    using namespace revet::sim;
+    LoadBalanceConfig cfg;
+    cfg.regions = 8;
+    cfg.slowdown = 1.3;
+    cfg.slowRegions = 1;
+    cfg.slotsPerRegion = 16;
+
+    std::printf("=== Figure 14: per-region load vs input elements "
+                "(search, one region 30%% slower) ===\n");
+    std::printf("%10s | %8s %8s | %12s %12s\n", "inputs", "slow %",
+                "fast %", "vs ideal", "vs static");
+    for (uint64_t items : {static_cast<uint64_t>(1e4),
+                           static_cast<uint64_t>(3e4),
+                           static_cast<uint64_t>(1e5),
+                           static_cast<uint64_t>(3e5),
+                           static_cast<uint64_t>(1e6)}) {
+        auto result = simulateLoadBalance(items, cfg);
+        double fast_avg = 0;
+        for (int r = 1; r < cfg.regions; ++r)
+            fast_avg += result.regionSharePct[r];
+        fast_avg /= cfg.regions - 1;
+        std::printf("%10llu | %7.2f%% %7.2f%% | %11.3fx %11.3fx\n",
+                    static_cast<unsigned long long>(items),
+                    result.regionSharePct[0], fast_avg,
+                    result.slowdownVsIdeal, result.speedupVsStatic);
+    }
+    std::printf("\nShape check vs paper Fig. 14: slow-region share "
+                "drops from 12.5%% toward <10%% as inputs grow;\n"
+                "the allocator avoids the ~21%% slowdown of running every "
+                "region at the slowest speed.\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces paper Table II: the vRDA machine parameters used in every
+ * experiment, plus derived DRAM-model rates and the area comparison.
+ */
+
+#include <cstdio>
+
+#include "baselines/baselines.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    revet::sim::MachineConfig m;
+    revet::baselines::GpuConfig g;
+    std::printf("=== Table II: RDA parameters used in our evaluation ===\n");
+    std::printf("%-24s %d x (%d lanes, %d stages)\n", "Compute units",
+                m.numCU, m.lanes, m.stages);
+    std::printf("%-24s %d x (%d banks, %d KiB)\n", "Memory units",
+                m.numMU, m.muBanks, m.muKiB);
+    std::printf("%-24s %d\n", "DRAM address generators", m.numAG);
+    std::printf("%-24s %dx vec, %dx scal buffers/unit\n", "Buffers",
+                m.vecBuffers, m.scalBuffers);
+    std::printf("%-24s %d vector, %d scalar\n", "Outputs (per unit)",
+                m.vecOutputs, m.scalOutputs);
+    std::printf("%-24s HBM2, %.0f GB/s, %d B burst\n", "DRAM",
+                m.dramPeakGBs, m.burstBytes);
+    std::printf("%-24s %.1f GHz\n", "Clock", m.clockGHz);
+    std::printf("%-24s %.0f mm^2 (vs V100 %.0f mm^2: %.1fx smaller)\n",
+                "Area", m.areaMM2, g.areaMM2, g.areaMM2 / m.areaMM2);
+    std::printf("\nDerived DRAM model:\n");
+    std::printf("  sequential: %.1f B/cycle\n", m.dramBytesPerCycle());
+    std::printf("  random:     %.2f bursts/cycle (%d banks, tRC %.0f ns)\n",
+                m.randomBurstsPerCycle(), m.dramBanks, m.tRCns);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The eight Table III evaluation applications.
+ *
+ * Each App bundles: the Revet source program, a synthetic dataset
+ * generator (sized by a scale parameter), a verifier that checks the
+ * program's DRAM output against a host-computed golden result, the
+ * byte-accounting rule used for GB/s (input+output bytes, matching the
+ * paper's methodology), and the paper's reported numbers for
+ * EXPERIMENTS.md comparisons.
+ */
+
+#ifndef REVET_APPS_APPS_HH
+#define REVET_APPS_APPS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lang/dram_image.hh"
+
+namespace revet
+{
+namespace apps
+{
+
+/** Workload characterization for the analytic GPU baseline model. */
+struct GpuProfile
+{
+    double bytesPerThread = 16;   ///< DRAM bytes touched per thread
+    double instrPerThread = 32;   ///< dynamic instructions per thread
+    double uniqueLinesPerThread = 1; ///< L1 lines touched (tag checks)
+    bool coalesced = true;        ///< neighboring threads share lines
+    int kernelsPerBatch = 1;      ///< multi-kernel launches (kD-tree)
+    double launchesPerItem = 0;   ///< per-item kernel relaunch overhead
+    double threadsPerScale = 1;   ///< GPU threads per app scale unit
+};
+
+struct PaperNumbers
+{
+    int lines = 0;          ///< Table III LoC
+    double revetGBs = 0;    ///< Table V Revet throughput
+    double gpuGBs = 0;      ///< Table V V100 throughput
+    double cpuGBs = 0;      ///< Table V Xeon throughput
+    double idealDram = 1;   ///< Table V "D" speedup
+    double idealSramNet = 1; ///< Table V "SN" speedup
+    double idealAll = 1;    ///< Table V "SND" speedup
+    double hbmReadPct = 0;  ///< Table IV HBM2 read %
+    double hbmWritePct = 0; ///< Table IV HBM2 write %
+};
+
+struct App
+{
+    std::string name;
+    std::string description;  ///< Table III "Description"
+    std::string dataset;      ///< Table III "Per-Thread Dataset"
+    std::string keyFeatures;  ///< Table III "Key Features"
+    std::string source;       ///< Revet program text
+
+    /** Fill DRAM inputs for `scale` work items; returns main() args. */
+    std::function<std::vector<int32_t>(lang::DramImage &, int scale)>
+        generate;
+    /** Check outputs; returns an empty string or an error message. */
+    std::function<std::string(lang::DramImage &, int scale)> verify;
+    /** Bytes of useful input+output data processed at `scale`. */
+    std::function<uint64_t(int scale)> accountedBytes;
+
+    /** Fraction of DRAM traffic that is random single-burst access. */
+    double randomAccessFraction = 0.0;
+    /** Burst-granularity overfetch on sequential traffic (32 B bursts
+     * vs small per-thread records). */
+    double dramOverfetch = 1.0;
+    /** Default replicate factor used by the program (resource model). */
+    int replicateFactor = 1;
+
+    GpuProfile gpu;
+    PaperNumbers paper;
+
+    /** Source line count (Table III "Lines"). */
+    int sourceLines() const;
+};
+
+/** All eight applications, in the paper's Table III order. */
+const std::vector<App> &allApps();
+
+/** Look up by name; throws std::out_of_range. */
+const App &findApp(const std::string &name);
+
+} // namespace apps
+} // namespace revet
+
+#endif // REVET_APPS_APPS_HH

@@ -1,0 +1,52 @@
+#include "apps/harness.hh"
+
+namespace revet
+{
+namespace apps
+{
+
+AppRun
+runApp(const App &app, int scale, const CompileOptions &copts,
+       const graph::ResourceOptions &ropts,
+       const sim::MachineConfig &machine, bool aurochs_mode)
+{
+    AppRun out;
+    auto prog = CompiledProgram::compile(app.source, copts);
+
+    lang::DramImage dram(prog.hir());
+    auto args = app.generate(dram, scale);
+    out.stats = prog.execute(dram, args);
+    out.verifyError = app.verify(dram, scale);
+    out.verified = out.verifyError.empty();
+    out.accountedBytes = app.accountedBytes(scale);
+
+    graph::Dfg dfg = prog.dfg(); // copy: link analysis annotates widths
+    graph::ResourceOptions ro = ropts;
+    if (ro.replicateOverride == 0)
+        ro.replicateOverride = app.replicateFactor;
+    out.resources = graph::analyzeResources(dfg, machine, ro);
+
+    sim::PerfOptions po;
+    po.randomAccessFraction = app.randomAccessFraction;
+    po.dramOverfetch = app.dramOverfetch;
+    po.aurochsMode = aurochs_mode;
+    out.perf = sim::modelPerformance(dfg, out.stats, out.resources,
+                                     machine, out.accountedBytes, po);
+    sim::PerfOptions poD = po;
+    poD.idealDram = true;
+    out.perfD = sim::modelPerformance(dfg, out.stats, out.resources,
+                                      machine, out.accountedBytes, poD);
+    sim::PerfOptions poSN = po;
+    poSN.idealSramNet = true;
+    out.perfSN = sim::modelPerformance(dfg, out.stats, out.resources,
+                                       machine, out.accountedBytes, poSN);
+    sim::PerfOptions poSND = poD;
+    poSND.idealSramNet = true;
+    out.perfSND = sim::modelPerformance(dfg, out.stats, out.resources,
+                                        machine, out.accountedBytes,
+                                        poSND);
+    return out;
+}
+
+} // namespace apps
+} // namespace revet

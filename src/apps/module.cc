@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the apps subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace apps
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "apps";
+}
+
+} // namespace apps
+} // namespace revet

@@ -1,0 +1,70 @@
+#include "baselines/baselines.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace revet
+{
+namespace baselines
+{
+
+double
+gpuDivergence(const std::string &app_name)
+{
+    // Warp-serialization multipliers, calibrated so the model reproduces
+    // the paper's V100 measurements (Table V). Uniform inner loops
+    // (murmur3) diverge little; data-dependent parsing/probing/matching
+    // serializes heavily.
+    static const std::map<std::string, double> div = {
+        {"isipv4", 21.0},  {"ip2int", 7.5},  {"murmur3", 14.0},
+        {"hash-table", 39.0}, {"search", 44.0}, {"huff-dec", 47.0},
+        {"huff-enc", 34.0},   {"kD-tree", 20.0},
+    };
+    auto it = div.find(app_name);
+    return it == div.end() ? 8.0 : it->second;
+}
+
+double
+gpuThroughputGBs(const apps::App &app, uint64_t items,
+                 const GpuConfig &cfg)
+{
+    const apps::GpuProfile &p = app.gpu;
+    const double threads =
+        static_cast<double>(items) * std::max(p.threadsPerScale, 1.0);
+    const double lane_rate = cfg.sms * cfg.lanesPerSm * cfg.clockGHz * 1e9;
+
+    // Compute: dynamic instructions serialized by divergence.
+    double compute_s =
+        threads * p.instrPerThread * gpuDivergence(app.name) / lane_rate;
+
+    // Memory: coalesced traffic is bandwidth-limited; uncoalesced
+    // traffic is additionally limited by L1 tag checks (one line per
+    // distinct address per thread) — the Section VI-B(b) effect that
+    // penalizes long per-thread data.
+    double bytes = threads * p.bytesPerThread;
+    double mem_bw_s = bytes / (cfg.memGBs * 1e9);
+    double mem_tag_s = 0;
+    if (!p.coalesced) {
+        double lines = threads * p.uniqueLinesPerThread;
+        double tag_rate =
+            cfg.sms * cfg.tagChecksPerSmPerCycle * cfg.clockGHz * 1e9;
+        mem_tag_s = lines / tag_rate;
+        mem_bw_s = std::max(
+            mem_bw_s, lines * cfg.lineBytes / (cfg.memGBs * 1e9));
+    }
+
+    // Kernel launches (multi-kernel tree traversal: Section VI-B(b)).
+    double launch_s = (p.kernelsPerBatch + threads * p.launchesPerItem) *
+        cfg.launchMicros * 1e-6;
+
+    double total_s =
+        std::max({compute_s, mem_bw_s, mem_tag_s}) + launch_s;
+    // accountedBytes(scale) is linear in scale for every app; use the
+    // per-scale-unit rate times the number of scale units modeled.
+    double per_unit = static_cast<double>(app.accountedBytes(1024)) /
+        1024.0;
+    return per_unit * static_cast<double>(items) / total_s / 1e9;
+}
+
+} // namespace baselines
+} // namespace revet

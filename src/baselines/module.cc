@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the baselines subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace baselines
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "baselines";
+}
+
+} // namespace baselines
+} // namespace revet

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the core subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace core
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "core";
+}
+
+} // namespace core
+} // namespace revet

@@ -1,0 +1,35 @@
+#include "core/revet.hh"
+
+#include "lang/parse.hh"
+
+namespace revet
+{
+
+CompiledProgram
+CompiledProgram::compile(const std::string &source,
+                         const CompileOptions &opts)
+{
+    CompiledProgram out;
+    out.opts_ = opts;
+    out.ref_ = lang::parseAndAnalyze(source);
+    out.hir_ = lang::parseAndAnalyze(source);
+    passes::runPipeline(out.hir_, opts.passes);
+    out.dfg_ = graph::lower(out.hir_, opts.lower);
+    return out;
+}
+
+interp::RunStats
+CompiledProgram::interpret(lang::DramImage &dram,
+                           const std::vector<int32_t> &args) const
+{
+    return interp::run(ref_, dram, args);
+}
+
+graph::ExecStats
+CompiledProgram::execute(lang::DramImage &dram,
+                         const std::vector<int32_t> &args) const
+{
+    return graph::execute(dfg_, dram, args);
+}
+
+} // namespace revet

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Public entry point for the Revet compiler and runtimes.
+ *
+ * Typical use:
+ * @code
+ *   auto prog = revet::CompiledProgram::compile(source);
+ *   revet::lang::DramImage dram(prog.hir());
+ *   dram.fill("input", data);
+ *   prog.execute(dram, {n});            // compiled dataflow
+ *   auto out = dram.read<int32_t>("out");
+ * @endcode
+ */
+
+#ifndef REVET_CORE_REVET_HH
+#define REVET_CORE_REVET_HH
+
+#include <string>
+
+#include "graph/dfg.hh"
+#include "graph/exec.hh"
+#include "graph/lower.hh"
+#include "interp/interp.hh"
+#include "lang/ast.hh"
+#include "lang/dram_image.hh"
+#include "passes/passes.hh"
+
+namespace revet
+{
+
+/** All compilation knobs in one place (used by the Fig. 12 ablation). */
+struct CompileOptions
+{
+    passes::PassOptions passes;
+    graph::LowerOptions lower;
+};
+
+/** A Revet program carried through every compilation stage. */
+class CompiledProgram
+{
+  public:
+    /**
+     * Parse, analyze, run the pass pipeline, and lower to dataflow.
+     * @throws lang::CompileError on invalid programs.
+     */
+    static CompiledProgram compile(const std::string &source,
+                                   const CompileOptions &opts = {});
+
+    /** The post-pipeline HIR (for DramImage construction and debug). */
+    const lang::Program &hir() const { return hir_; }
+
+    /** The pre-pipeline HIR (reference-interpreter semantics). */
+    const lang::Program &referenceHir() const { return ref_; }
+
+    /** The lowered dataflow graph. */
+    const graph::Dfg &dfg() const { return dfg_; }
+
+    const CompileOptions &options() const { return opts_; }
+
+    /** Run on the reference AST interpreter (golden model). */
+    interp::RunStats interpret(lang::DramImage &dram,
+                               const std::vector<int32_t> &args) const;
+
+    /** Run the compiled dataflow graph functionally. */
+    graph::ExecStats execute(lang::DramImage &dram,
+                             const std::vector<int32_t> &args) const;
+
+  private:
+    CompiledProgram() = default;
+
+    lang::Program ref_;
+    lang::Program hir_;
+    graph::Dfg dfg_;
+    CompileOptions opts_;
+};
+
+} // namespace revet
+
+#endif // REVET_CORE_REVET_HH

@@ -1,0 +1,79 @@
+#include "dataflow/channel.hh"
+
+#include <stdexcept>
+
+namespace revet
+{
+namespace dataflow
+{
+
+bool
+allHaveToken(const Bundle &bundle)
+{
+    for (const Channel *ch : bundle) {
+        if (ch->empty())
+            return false;
+    }
+    return true;
+}
+
+bool
+allCanPush(const Bundle &bundle)
+{
+    for (const Channel *ch : bundle) {
+        if (!ch->canPush())
+            return false;
+    }
+    return true;
+}
+
+int
+bundleHeadKind(const Bundle &bundle)
+{
+    bool any_data = false;
+    int level = -1;
+    for (const Channel *ch : bundle) {
+        const Token &head = ch->front();
+        if (head.isData()) {
+            any_data = true;
+        } else if (level == -1) {
+            level = head.barrierLevel();
+        } else if (level != head.barrierLevel()) {
+            throw std::runtime_error(
+                "bundle misaligned: barriers B" + std::to_string(level) +
+                " vs B" + std::to_string(head.barrierLevel()));
+        }
+    }
+    if (any_data && level != -1) {
+        throw std::runtime_error(
+            "bundle misaligned: data vs barrier at channel heads");
+    }
+    return any_data ? 0 : level;
+}
+
+std::vector<Token>
+popBundle(const Bundle &bundle)
+{
+    std::vector<Token> toks;
+    toks.reserve(bundle.size());
+    for (Channel *ch : bundle)
+        toks.push_back(ch->pop());
+    return toks;
+}
+
+void
+pushBundle(const Bundle &bundle, const std::vector<Token> &toks)
+{
+    for (size_t i = 0; i < bundle.size(); ++i)
+        bundle[i]->push(toks[i]);
+}
+
+void
+pushBarrier(const Bundle &bundle, int level)
+{
+    for (Channel *ch : bundle)
+        ch->push(Token::barrier(level));
+}
+
+} // namespace dataflow
+} // namespace revet

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Channels: on-chip SLTF links between streaming primitives.
+ *
+ * A Channel carries Tokens from one producer to one consumer in FIFO
+ * order (the vRDA network guarantees exactly-once, in-order delivery).
+ * Channels default to unbounded (functional semantics); the cycle
+ * simulator bounds them to model finite input buffers.
+ *
+ * A Bundle is a set of channels that move one thread's live values
+ * together: primitives that reorder threads (merges, filters) operate on
+ * whole bundles so live values never separate from their thread.
+ */
+
+#ifndef REVET_DATAFLOW_CHANNEL_HH
+#define REVET_DATAFLOW_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sltf/token.hh"
+
+namespace revet
+{
+namespace dataflow
+{
+
+using sltf::Token;
+using sltf::TokenStream;
+using sltf::Word;
+
+/** One on-chip link: a FIFO of SLTF tokens with optional capacity. */
+class Channel
+{
+  public:
+    static constexpr size_t unbounded =
+        std::numeric_limits<size_t>::max();
+
+    explicit Channel(std::string name = "", size_t capacity = unbounded)
+        : name_(std::move(name)), capacity_(capacity)
+    {}
+
+    const std::string &name() const { return name_; }
+
+    bool empty() const { return fifo_.empty(); }
+    size_t size() const { return fifo_.size(); }
+    size_t capacity() const { return capacity_; }
+    void setCapacity(size_t capacity) { capacity_ = capacity; }
+
+    bool canPush() const { return fifo_.size() < capacity_; }
+
+    void
+    push(const Token &tok)
+    {
+        fifo_.push_back(tok);
+        ++total_pushed_;
+    }
+
+    /** Push every token of @p stream (unbounded use only). */
+    void
+    pushAll(const TokenStream &stream)
+    {
+        for (const Token &tok : stream)
+            push(tok);
+    }
+
+    const Token &front() const { return fifo_.front(); }
+
+    Token
+    pop()
+    {
+        Token tok = fifo_.front();
+        fifo_.pop_front();
+        return tok;
+    }
+
+    /** Lifetime token count, for stats and link-bandwidth analysis. */
+    uint64_t totalPushed() const { return total_pushed_; }
+
+    /** Drain the remaining contents into a TokenStream. */
+    TokenStream
+    drain()
+    {
+        TokenStream out(fifo_.begin(), fifo_.end());
+        fifo_.clear();
+        return out;
+    }
+
+  private:
+    std::string name_;
+    size_t capacity_;
+    std::deque<Token> fifo_;
+    uint64_t total_pushed_ = 0;
+};
+
+/** A group of channels carrying one thread's live values in lockstep. */
+using Bundle = std::vector<Channel *>;
+
+/** True when every channel of @p bundle has a token available. */
+bool allHaveToken(const Bundle &bundle);
+
+/** True when every channel of @p bundle can accept a token. */
+bool allCanPush(const Bundle &bundle);
+
+/**
+ * Classify the aligned heads of @p bundle: returns the barrier level if
+ * every head is a barrier (asserting they agree), 0 if every head is
+ * data.
+ *
+ * @throws std::runtime_error if heads are misaligned (mix of data and
+ * barriers, or differing barrier levels) — a machine-model invariant
+ * violation.
+ */
+int bundleHeadKind(const Bundle &bundle);
+
+/** Pop one token from every channel of @p bundle. */
+std::vector<Token> popBundle(const Bundle &bundle);
+
+/** Push @p toks element-wise onto @p bundle. */
+void pushBundle(const Bundle &bundle, const std::vector<Token> &toks);
+
+/** Push the same barrier onto every channel of @p bundle. */
+void pushBarrier(const Bundle &bundle, int level);
+
+} // namespace dataflow
+} // namespace revet
+
+#endif // REVET_DATAFLOW_CHANNEL_HH

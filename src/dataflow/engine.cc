@@ -1,0 +1,64 @@
+#include "dataflow/engine.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace revet
+{
+namespace dataflow
+{
+
+namespace
+{
+/** Work quanta each primitive may run per scheduler round. */
+constexpr int roundBurst = 4096;
+} // namespace
+
+uint64_t
+Engine::run(uint64_t max_rounds)
+{
+    uint64_t rounds = 0;
+    bool progress = true;
+    while (progress) {
+        if (++rounds > max_rounds) {
+            throw std::runtime_error(
+                "dataflow engine exceeded " + std::to_string(max_rounds) +
+                " rounds; likely livelock. " + stallReport());
+        }
+        progress = false;
+        for (auto &proc : procs_)
+            progress |= proc->step(roundBurst);
+    }
+    return rounds;
+}
+
+bool
+Engine::drained() const
+{
+    for (const auto &ch : channels_) {
+        if (!ch->empty())
+            return false;
+    }
+    return true;
+}
+
+std::string
+Engine::stallReport() const
+{
+    std::ostringstream oss;
+    oss << "stalled channels:";
+    bool any = false;
+    for (const auto &ch : channels_) {
+        if (!ch->empty()) {
+            any = true;
+            oss << " " << (ch->name().empty() ? "?" : ch->name()) << "("
+                << ch->size() << " head=" << ch->front().str() << ")";
+        }
+    }
+    if (!any)
+        oss << " none";
+    return oss.str();
+}
+
+} // namespace dataflow
+} // namespace revet

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Functional execution engine for streaming-primitive graphs.
+ *
+ * The Engine owns channels and processes and runs them round-robin until
+ * quiescence — the fixed point where no primitive can make progress. With
+ * unbounded channels this computes the denotational (Kahn-network)
+ * semantics of the graph; the result is independent of scheduling order
+ * because every primitive is a deterministic stream transformer.
+ */
+
+#ifndef REVET_DATAFLOW_ENGINE_HH
+#define REVET_DATAFLOW_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/channel.hh"
+#include "dataflow/primitives.hh"
+
+namespace revet
+{
+namespace dataflow
+{
+
+class Engine
+{
+  public:
+    /** Create a channel owned by this engine. */
+    Channel *
+    channel(std::string name = "", size_t capacity = Channel::unbounded)
+    {
+        channels_.push_back(
+            std::make_unique<Channel>(std::move(name), capacity));
+        return channels_.back().get();
+    }
+
+    /** Construct and register a primitive. */
+    template <typename P, typename... Args>
+    P *
+    make(Args &&...args)
+    {
+        auto proc = std::make_unique<P>(std::forward<Args>(args)...);
+        P *raw = proc.get();
+        procs_.push_back(std::move(proc));
+        return raw;
+    }
+
+    /**
+     * Run to quiescence.
+     *
+     * @param max_rounds safety cap on scheduler rounds (throws on
+     *        overrun, which indicates a livelock/runaway loop).
+     * @return number of scheduler rounds taken.
+     */
+    uint64_t run(uint64_t max_rounds = 1u << 26);
+
+    /** Channels that still hold tokens (stall diagnostics). */
+    std::string stallReport() const;
+
+    /** True if no non-sink channel holds tokens. */
+    bool drained() const;
+
+    const std::vector<std::unique_ptr<Channel>> &
+    channels() const
+    {
+        return channels_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<std::unique_ptr<Process>> procs_;
+};
+
+} // namespace dataflow
+} // namespace revet
+
+#endif // REVET_DATAFLOW_ENGINE_HH

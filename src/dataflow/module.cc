@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the dataflow subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace dataflow
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "dataflow";
+}
+
+} // namespace dataflow
+} // namespace revet

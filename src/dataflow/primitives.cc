@@ -1,0 +1,355 @@
+#include "dataflow/primitives.hh"
+
+#include <stdexcept>
+
+namespace revet
+{
+namespace dataflow
+{
+
+bool
+Source::stepOnce()
+{
+    if (pos_ >= stream_.size() || !out_->canPush())
+        return false;
+    out_->push(stream_[pos_++]);
+    return true;
+}
+
+bool
+Sink::stepOnce()
+{
+    if (in_->empty())
+        return false;
+    collected_.push_back(in_->pop());
+    return true;
+}
+
+bool
+Fanout::stepOnce()
+{
+    if (in_->empty())
+        return false;
+    for (Channel *out : outs_) {
+        if (!out->canPush())
+            return false;
+    }
+    Token tok = in_->pop();
+    for (Channel *out : outs_)
+        out->push(tok);
+    return true;
+}
+
+bool
+ElementWise::stepOnce()
+{
+    if (!allHaveToken(ins_) || !allCanPush(outs_))
+        return false;
+    int kind = bundleHeadKind(ins_);
+    if (kind > 0) {
+        popBundle(ins_);
+        pushBarrier(outs_, kind);
+        return true;
+    }
+    std::vector<Word> in_words;
+    in_words.reserve(ins_.size());
+    for (Channel *ch : ins_)
+        in_words.push_back(ch->pop().word());
+    std::vector<Word> out_words;
+    fn_(in_words, out_words);
+    if (out_words.size() != outs_.size()) {
+        throw std::logic_error(name() + ": lane fn produced " +
+                               std::to_string(out_words.size()) +
+                               " results for " +
+                               std::to_string(outs_.size()) + " outputs");
+    }
+    for (size_t i = 0; i < outs_.size(); ++i)
+        outs_[i]->push(Token::data(out_words[i]));
+    return true;
+}
+
+bool
+Broadcast::stepOnce()
+{
+    if (deep_->empty() || !out_->canPush())
+        return false;
+    const Token &head = deep_->front();
+    if (head.isData()) {
+        if (shallow_->empty())
+            return false;
+        if (!shallow_->front().isData()) {
+            throw std::runtime_error(
+                name() + ": shallow stream has a barrier where the deep "
+                         "structure still carries data");
+        }
+        deep_->pop();
+        out_->push(Token::data(shallow_->front().word()));
+        return true;
+    }
+    int j = head.barrierLevel();
+    if (j < level_) {
+        // Barrier below the broadcast level: structure internal to one
+        // broadcast element; pass through.
+        deep_->pop();
+        out_->push(Token::barrier(j));
+        return true;
+    }
+    if (shallow_->empty())
+        return false;
+    const Token &sh = shallow_->front();
+    if (j == level_) {
+        // One broadcast group ends: retire the shallow element.
+        if (!sh.isData())
+            throw std::runtime_error(name() + ": expected shallow data");
+        deep_->pop();
+        shallow_->pop();
+        out_->push(Token::barrier(j));
+        return true;
+    }
+    // j > level_: the shallow stream's own barrier must match, one level
+    // shallower.
+    if (!sh.isBarrier() || sh.barrierLevel() != j - level_) {
+        throw std::runtime_error(
+            name() + ": shallow barrier mismatch at deep B" +
+            std::to_string(j));
+    }
+    deep_->pop();
+    shallow_->pop();
+    out_->push(Token::barrier(j));
+    return true;
+}
+
+bool
+Counter::stepOnce()
+{
+    if (mode_ == Mode::idle) {
+        Bundle ins{min_, max_, step_};
+        if (!allHaveToken(ins))
+            return false;
+        int kind = bundleHeadKind(ins);
+        if (kind > 0) {
+            if (!out_->canPush())
+                return false;
+            popBundle(ins);
+            out_->push(Token::barrier(kind + 1));
+            return true;
+        }
+        cur_ = min_->pop().asInt();
+        lim_ = max_->pop().asInt();
+        stride_ = step_->pop().asInt();
+        if (stride_ == 0)
+            throw std::runtime_error(name() + ": zero counter stride");
+        mode_ = Mode::run;
+        return true;
+    }
+    if (mode_ == Mode::run) {
+        bool live = stride_ > 0 ? cur_ < lim_ : cur_ > lim_;
+        if (!live) {
+            mode_ = Mode::term;
+        } else {
+            if (!out_->canPush())
+                return false;
+            out_->push(Token::data(static_cast<Word>(
+                static_cast<uint64_t>(cur_) & 0xffffffffu)));
+            cur_ += stride_;
+            return true;
+        }
+    }
+    // Mode::term: emit the explicit group terminator.
+    if (!out_->canPush())
+        return false;
+    out_->push(Token::barrier(1));
+    mode_ = Mode::idle;
+    return true;
+}
+
+bool
+Reduce::stepOnce()
+{
+    if (in_->empty())
+        return false;
+    const Token &head = in_->front();
+    if (head.isData()) {
+        acc_ = fn_(acc_, head.word());
+        in_->pop();
+        return true;
+    }
+    if (!out_->canPush())
+        return false;
+    int j = head.barrierLevel();
+    in_->pop();
+    if (j == 1) {
+        out_->push(Token::data(acc_));
+        acc_ = init_;
+    } else {
+        out_->push(Token::barrier(j - 1));
+    }
+    return true;
+}
+
+bool
+Flatten::stepOnce()
+{
+    if (in_->empty())
+        return false;
+    const Token &head = in_->front();
+    if (head.isBarrier() && head.barrierLevel() == 1) {
+        in_->pop(); // the stripped level vanishes
+        return true;
+    }
+    if (!out_->canPush())
+        return false;
+    Token tok = in_->pop();
+    if (tok.isBarrier())
+        out_->push(Token::barrier(tok.barrierLevel() - 1));
+    else
+        out_->push(tok);
+    return true;
+}
+
+bool
+Filter::stepOnce()
+{
+    Bundle all = ins_;
+    all.push_back(pred_);
+    if (!allHaveToken(all))
+        return false;
+    int kind = bundleHeadKind(all);
+    if (kind > 0) {
+        if (!allCanPush(outs_))
+            return false;
+        popBundle(all);
+        pushBarrier(outs_, kind);
+        return true;
+    }
+    bool keep = (pred_->front().word() != 0) == sense_;
+    if (keep && !allCanPush(outs_))
+        return false;
+    pred_->pop();
+    std::vector<Token> toks = popBundle(ins_);
+    if (keep)
+        pushBundle(outs_, toks);
+    return true;
+}
+
+bool
+ForwardMerge::stepOnce()
+{
+    for (Bundle *side : {&a_, &b_}) {
+        if (allHaveToken(*side) && bundleHeadKind(*side) == 0) {
+            if (!allCanPush(outs_))
+                return false;
+            pushBundle(outs_, popBundle(*side));
+            return true;
+        }
+    }
+    // No data at either head: both must present the matching barrier.
+    if (!allHaveToken(a_) || !allHaveToken(b_))
+        return false;
+    int ka = bundleHeadKind(a_);
+    int kb = bundleHeadKind(b_);
+    if (ka != kb) {
+        throw std::runtime_error(name() + ": branch barrier mismatch B" +
+                                 std::to_string(ka) + " vs B" +
+                                 std::to_string(kb));
+    }
+    if (!allCanPush(outs_))
+        return false;
+    popBundle(a_);
+    popBundle(b_);
+    pushBarrier(outs_, ka);
+    return true;
+}
+
+bool
+FwdBackMerge::tryConsumeEcho()
+{
+    if (pending_echoes_.empty() || !allHaveToken(back_))
+        return false;
+    int kind = bundleHeadKind(back_);
+    if (kind == pending_echoes_.front()) {
+        popBundle(back_);
+        pending_echoes_.pop_front();
+        return true;
+    }
+    return false;
+}
+
+bool
+FwdBackMerge::stepOnce()
+{
+    if (tryConsumeEcho())
+        return true;
+
+    if (mode_ == Mode::flow) {
+        if (allHaveToken(fwd_)) {
+            int kind = bundleHeadKind(fwd_);
+            if (kind == 0) {
+                if (allCanPush(outs_)) {
+                    pushBundle(outs_, popBundle(fwd_));
+                    return true;
+                }
+            } else {
+                // A forward barrier: flush the loop. Terminate the batch
+                // with the loop-control Omega(1) and drain.
+                if (allCanPush(outs_)) {
+                    popBundle(fwd_);
+                    pushBarrier(outs_, 1);
+                    pending_level_ = kind;
+                    back_data_since_barrier_ = false;
+                    mode_ = Mode::drain;
+                    return true;
+                }
+            }
+        }
+        // Recirculating threads keep flowing while the loop free-runs.
+        if (allHaveToken(back_)) {
+            int kind = bundleHeadKind(back_);
+            if (kind != 0) {
+                throw std::runtime_error(
+                    name() + ": unexpected backedge barrier B" +
+                    std::to_string(kind) + " outside a flush");
+            }
+            if (allCanPush(outs_)) {
+                pushBundle(outs_, popBundle(back_));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // Mode::drain: the forward input is stalled; iterate the body dry.
+    if (!allHaveToken(back_))
+        return false;
+    int kind = bundleHeadKind(back_);
+    if (kind == 0) {
+        if (!allCanPush(outs_))
+            return false;
+        pushBundle(outs_, popBundle(back_));
+        back_data_since_barrier_ = true;
+        return true;
+    }
+    if (kind != 1) {
+        throw std::runtime_error(name() +
+                                 ": backedge barrier B" +
+                                 std::to_string(kind) +
+                                 " during drain (expected B1)");
+    }
+    if (!allCanPush(outs_))
+        return false;
+    popBundle(back_);
+    if (back_data_since_barrier_) {
+        // Threads are still circulating: close this iteration batch.
+        pushBarrier(outs_, 1);
+        back_data_since_barrier_ = false;
+        return true;
+    }
+    // Two barriers in a row: the body is empty. Release the flush.
+    pushBarrier(outs_, pending_level_ + 1);
+    pending_echoes_.push_back(pending_level_ + 1);
+    mode_ = Mode::flow;
+    return true;
+}
+
+} // namespace dataflow
+} // namespace revet

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Streaming-tensor primitives of the Revet abstract machine.
+ *
+ * These are the Section III-B building blocks. Each primitive consumes and
+ * produces explicit-barrier SLTF token streams over Channels and respects
+ * the two machine-model rules:
+ *
+ *  1. every barrier that enters a primitive exits exactly once, in order;
+ *  2. thread data is never reordered across barriers (only between them).
+ *
+ * Primitives are written incrementally — stepOnce() performs a bounded
+ * quantum of work and never consumes an input token unless the resulting
+ * outputs can be pushed — so the same objects run under the unbounded
+ * functional engine and the bounded-buffer cycle simulator.
+ */
+
+#ifndef REVET_DATAFLOW_PRIMITIVES_HH
+#define REVET_DATAFLOW_PRIMITIVES_HH
+
+#include <deque>
+#include <stdexcept>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataflow/channel.hh"
+
+namespace revet
+{
+namespace dataflow
+{
+
+/** Base class for all streaming primitives. */
+class Process
+{
+  public:
+    explicit Process(std::string name) : name_(std::move(name)) {}
+    virtual ~Process() = default;
+
+    /**
+     * Perform one quantum of work.
+     * @return true if any token moved (progress was made).
+     */
+    virtual bool stepOnce() = 0;
+
+    /** Run up to @p burst quanta; returns true if any progressed. */
+    bool
+    step(int burst)
+    {
+        bool any = false;
+        try {
+            for (int i = 0; i < burst; ++i) {
+                if (!stepOnce())
+                    break;
+                any = true;
+            }
+        } catch (const std::runtime_error &err) {
+            throw std::runtime_error("[" + name_ + "] " + err.what());
+        }
+        return any;
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/** Injects a fixed token stream into a channel. */
+class Source : public Process
+{
+  public:
+    Source(std::string name, Channel *out, TokenStream stream)
+        : Process(std::move(name)), out_(out), stream_(std::move(stream))
+    {}
+
+    bool stepOnce() override;
+    bool done() const { return pos_ == stream_.size(); }
+
+  private:
+    Channel *out_;
+    TokenStream stream_;
+    size_t pos_ = 0;
+};
+
+/** Collects every token arriving on a channel. */
+class Sink : public Process
+{
+  public:
+    Sink(std::string name, Channel *in) : Process(std::move(name)), in_(in)
+    {}
+
+    bool stepOnce() override;
+    const TokenStream &collected() const { return collected_; }
+
+  private:
+    Channel *in_;
+    TokenStream collected_;
+};
+
+/** Copies one input stream to several consumers (link fan-out). */
+class Fanout : public Process
+{
+  public:
+    Fanout(std::string name, Channel *in, std::vector<Channel *> outs)
+        : Process(std::move(name)), in_(in), outs_(std::move(outs))
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Channel *in_;
+    std::vector<Channel *> outs_;
+};
+
+/** Per-lane function: maps aligned input words to output words. */
+using LaneFn =
+    std::function<void(const std::vector<Word> &, std::vector<Word> &)>;
+
+/**
+ * Element-wise operation over aligned streams (Section III-B(a)).
+ *
+ * Pops one aligned token from every input; data maps through @p fn,
+ * barriers (which must agree across inputs) pass to every output.
+ * Ordering, hierarchy, and thread count are never changed.
+ */
+class ElementWise : public Process
+{
+  public:
+    ElementWise(std::string name, Bundle ins, Bundle outs, LaneFn fn)
+        : Process(std::move(name)), ins_(std::move(ins)),
+          outs_(std::move(outs)), fn_(std::move(fn))
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Bundle ins_;
+    Bundle outs_;
+    LaneFn fn_;
+};
+
+/**
+ * Broadcast (expansion): repeats each element of the shallow stream
+ * across one dim-@p level group of the deep structure stream
+ * (Section III-B(b)). The output mirrors the deep stream's structure with
+ * its data replaced by the current shallow element; the deep stream is
+ * consumed (fan it out upstream if its values are also needed).
+ */
+class Broadcast : public Process
+{
+  public:
+    Broadcast(std::string name, Channel *deep, Channel *shallow,
+              Channel *out, int level = 1)
+        : Process(std::move(name)), deep_(deep), shallow_(shallow),
+          out_(out), level_(level)
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Channel *deep_;
+    Channel *shallow_;
+    Channel *out_;
+    int level_;
+};
+
+/**
+ * Counter (expansion): maps each (min, max, step) triple to the range
+ * [min, max) and adds one hierarchy level; incoming barriers are raised
+ * one level. Empty ranges still emit their explicit Omega(1) so empty
+ * groups stay distinct.
+ */
+class Counter : public Process
+{
+  public:
+    Counter(std::string name, Channel *min, Channel *max, Channel *step,
+            Channel *out)
+        : Process(std::move(name)), min_(min), max_(max), step_(step),
+          out_(out)
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    enum class Mode { idle, run, term };
+
+    Channel *min_;
+    Channel *max_;
+    Channel *step_;
+    Channel *out_;
+    Mode mode_ = Mode::idle;
+    int64_t cur_ = 0;
+    int64_t lim_ = 0;
+    int64_t stride_ = 0;
+};
+
+/** Associative binary reduction function over 32-bit words. */
+using ReduceFn = std::function<Word(Word, Word)>;
+
+/**
+ * Reduction: coalesces the last tensor dimension into one element and
+ * lowers every barrier by one level. Empty groups yield the initial
+ * value, preserving [[]] -> [0], [[],[]] -> [0,0], [] -> [].
+ */
+class Reduce : public Process
+{
+  public:
+    Reduce(std::string name, Channel *in, Channel *out, ReduceFn fn,
+           Word init)
+        : Process(std::move(name)), in_(in), out_(out), fn_(std::move(fn)),
+          init_(init), acc_(init)
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Channel *in_;
+    Channel *out_;
+    ReduceFn fn_;
+    Word init_;
+    Word acc_;
+};
+
+/**
+ * Flatten / hierarchy strip: removes one hierarchy level without touching
+ * elements — Omega(1) disappears, Omega(j) becomes Omega(j-1). Used for
+ * fork (expansion/flatten pair) and for edges leaving a while-loop body.
+ */
+class Flatten : public Process
+{
+  public:
+    Flatten(std::string name, Channel *in, Channel *out)
+        : Process(std::move(name)), in_(in), out_(out)
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Channel *in_;
+    Channel *out_;
+};
+
+/**
+ * Filter: forwards a thread's bundle only when its predicate matches
+ * @p sense; barriers pass through unmodified (Section III-B(c)). An if
+ * statement uses two filters with opposite sense on the same fanned-out
+ * predicate.
+ */
+class Filter : public Process
+{
+  public:
+    Filter(std::string name, Channel *pred, Bundle ins, Bundle outs,
+           bool sense = true)
+        : Process(std::move(name)), pred_(pred), ins_(std::move(ins)),
+          outs_(std::move(outs)), sense_(sense)
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Channel *pred_;
+    Bundle ins_;
+    Bundle outs_;
+    bool sense_;
+};
+
+/**
+ * Forward merge: interleaves two forward branches into one stream,
+ * eagerly within the lowest dimension. On reaching a barrier on one
+ * input, that input stalls until the other presents the matching
+ * barrier; the pair is forwarded as a single barrier. Thread bundles
+ * merge atomically.
+ */
+class ForwardMerge : public Process
+{
+  public:
+    ForwardMerge(std::string name, Bundle a, Bundle b, Bundle outs)
+        : Process(std::move(name)), a_(std::move(a)), b_(std::move(b)),
+          outs_(std::move(outs))
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    Bundle a_;
+    Bundle b_;
+    Bundle outs_;
+};
+
+/**
+ * Forward-backward merge: the while-loop header (Section III-B(d)).
+ *
+ * Free-running until a forward barrier Omega(k) arrives; then the merge
+ * emits the loop-control Omega(1), stalls the forward input, and drains:
+ * every backedge group that still contains threads is passed through and
+ * re-terminated with Omega(1); a backedge group that arrives empty means
+ * the loop body has fully drained, so the merge emits Omega(k+1) into the
+ * body (the loop-exit edge's Flatten lowers it back to Omega(k)) and
+ * unstalls the forward input. The copy of that final barrier that comes
+ * back around the backedge is swallowed as an echo.
+ */
+class FwdBackMerge : public Process
+{
+  public:
+    FwdBackMerge(std::string name, Bundle fwd, Bundle back, Bundle outs)
+        : Process(std::move(name)), fwd_(std::move(fwd)),
+          back_(std::move(back)), outs_(std::move(outs))
+    {}
+
+    bool stepOnce() override;
+
+  private:
+    enum class Mode { flow, drain };
+
+    bool tryConsumeEcho();
+
+    Bundle fwd_;
+    Bundle back_;
+    Bundle outs_;
+    Mode mode_ = Mode::flow;
+    int pending_level_ = 0;
+    bool back_data_since_barrier_ = false;
+    std::deque<int> pending_echoes_;
+};
+
+} // namespace dataflow
+} // namespace revet
+
+#endif // REVET_DATAFLOW_PRIMITIVES_HH

@@ -1,0 +1,135 @@
+#include "graph/dfg.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace revet
+{
+namespace graph
+{
+
+bool
+isSramOp(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::sramAlloc:
+      case OpKind::sramRead:
+      case OpKind::sramWrite:
+      case OpKind::rmwAdd:
+      case OpKind::rmwSub:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDramOp(OpKind kind)
+{
+    return kind == OpKind::dramRead || kind == OpKind::dramWrite;
+}
+
+std::string
+toString(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::block: return "block";
+      case NodeKind::counter: return "counter";
+      case NodeKind::broadcast: return "broadcast";
+      case NodeKind::reduce: return "reduce";
+      case NodeKind::flatten: return "flatten";
+      case NodeKind::filter: return "filter";
+      case NodeKind::fwdMerge: return "fwd-merge";
+      case NodeKind::fbMerge: return "fb-merge";
+      case NodeKind::fanout: return "fanout";
+      case NodeKind::source: return "source";
+      case NodeKind::sink: return "sink";
+    }
+    return "?";
+}
+
+std::string
+Dfg::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph revet {\n  rankdir=TB;\n";
+    for (const auto &n : nodes) {
+        os << "  n" << n.id << " [label=\"" << toString(n.kind) << "\\n"
+           << n.name;
+        if (n.kind == NodeKind::block)
+            os << "\\n" << n.ops.size() << " ops";
+        os << "\" shape=" << (n.kind == NodeKind::block ? "box" : "ellipse")
+           << "];\n";
+    }
+    for (const auto &l : links) {
+        if (l.src >= 0 && l.dst >= 0) {
+            os << "  n" << l.src << " -> n" << l.dst << " [label=\""
+               << l.name << "\"" << (l.vector ? "" : " style=dashed")
+               << "];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void
+Dfg::verify() const
+{
+    for (const auto &l : links) {
+        if (l.src < 0)
+            throw std::logic_error("link '" + l.name + "' has no producer");
+        if (l.dst < 0)
+            throw std::logic_error("link '" + l.name + "' has no consumer");
+    }
+    for (const auto &n : nodes) {
+        auto need = [&](bool ok, const std::string &msg) {
+            if (!ok) {
+                throw std::logic_error("node '" + n.name + "' (" +
+                                       toString(n.kind) + "): " + msg);
+            }
+        };
+        switch (n.kind) {
+          case NodeKind::counter:
+            need(n.ins.size() == 3 && n.outs.size() == 1,
+                 "counter needs 3 ins / 1 out");
+            break;
+          case NodeKind::broadcast:
+            need(n.ins.size() == 2 && n.outs.size() == 1,
+                 "broadcast needs 2 ins / 1 out");
+            break;
+          case NodeKind::reduce:
+          case NodeKind::flatten:
+            need(n.ins.size() == 1 && n.outs.size() == 1,
+                 "needs 1 in / 1 out");
+            break;
+          case NodeKind::filter:
+            need(n.ins.size() == n.outs.size() + 1,
+                 "filter needs pred + bundle");
+            break;
+          case NodeKind::fwdMerge:
+          case NodeKind::fbMerge:
+            need(n.ins.size() == 2 * n.outs.size() && !n.outs.empty(),
+                 "merge needs two equal bundles");
+            break;
+          case NodeKind::fanout:
+            need(n.ins.size() == 1 && n.outs.size() >= 1,
+                 "fanout needs 1 in");
+            break;
+          case NodeKind::source:
+            need(n.ins.empty() && n.outs.size() == 1, "source arity");
+            break;
+          case NodeKind::sink:
+            need(n.ins.size() == 1 && n.outs.empty(), "sink arity");
+            break;
+          case NodeKind::block:
+            need(n.ins.size() == n.inputRegs.size(),
+                 "block input register mismatch");
+            need(n.outs.size() == n.outputRegs.size(),
+                 "block output register mismatch");
+            break;
+        }
+    }
+}
+
+} // namespace graph
+} // namespace revet

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The streaming dataflow graph (DFG): Revet's compilation target.
+ *
+ * A Dfg is a network of nodes connected by SLTF links. Block nodes hold
+ * straight-line element-wise op sequences (one virtual context each,
+ * split against the Table II limits by the resource model); every other
+ * node kind is one of the Section III-B streaming primitives. The same
+ * graph drives the functional executor (graph/exec.hh), the resource
+ * model (graph/resources.hh), and the cycle-level simulator (sim/).
+ */
+
+#ifndef REVET_GRAPH_DFG_HH
+#define REVET_GRAPH_DFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+#include "sltf/token.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+using lang::Scalar;
+using sltf::Word;
+
+/** Element-wise operations inside a block context. */
+enum class OpKind
+{
+    cnst, mov,
+    add, sub, mul, divs, divu, rems, remu,
+    andb, orb, xorb, shl, shrs, shru,
+    eq, ne, lts, ltu, les, leu,
+    land, lor, lnot, bnot, neg, sel,
+    norm,      ///< normalize to `elem` (narrow-type wrap)
+    sramAlloc, ///< allocate `size` elements; yields handle
+    sramRead,  ///< a=handle, b=index -> value
+    sramWrite, ///< a=handle, b=index, c=value (guarded)
+    rmwAdd,    ///< a=handle, b=index, c=delta -> old (guarded)
+    rmwSub,
+    dramRead,  ///< a=index (element units) in region `dram`
+    dramWrite, ///< a=index, b=value (guarded)
+};
+
+/** True if the op touches an on-chip memory (maps to an MU). */
+bool isSramOp(OpKind kind);
+
+/** True if the op touches DRAM (maps to an AG). */
+bool isDramOp(OpKind kind);
+
+/** One element-wise operation over block registers. */
+struct BlockOp
+{
+    OpKind kind = OpKind::mov;
+    int dst = -1;         ///< destination register (-1: none)
+    int a = -1, b = -1, c = -1;
+    Word imm = 0;         ///< cnst payload
+    int dram = -1;        ///< DRAM region for dram ops
+    int64_t size = 0;     ///< sramAlloc element count
+    Scalar elem = Scalar::i32; ///< norm target / memory element type
+    int guard = -1;       ///< predication register (-1: unconditional)
+};
+
+enum class NodeKind
+{
+    block,     ///< element-wise context (BlockOps over a bundle)
+    counter,   ///< expansion: (min,max,step) -> iterate, +1 level
+    broadcast, ///< expansion: repeat shallow value across deep groups
+    reduce,    ///< contraction: sum last dimension, -1 level
+    flatten,   ///< hierarchy strip: -1 level, data untouched
+    filter,    ///< predicate routing (bundle atomically)
+    fwdMerge,  ///< forward merge (if-join)
+    fbMerge,   ///< forward-backward merge (while header)
+    fanout,    ///< copy one link to several consumers
+    source,    ///< program entry stream
+    sink,      ///< consumes a dangling stream
+};
+
+std::string toString(NodeKind kind);
+
+struct Node
+{
+    int id = -1;
+    NodeKind kind = NodeKind::block;
+    std::string name;
+    std::vector<int> ins;  ///< link ids (ordered; see kind conventions)
+    std::vector<int> outs; ///< link ids
+
+    // block payload
+    std::vector<BlockOp> ops;
+    std::vector<int> inputRegs;  ///< register receiving each input link
+    std::vector<int> outputRegs; ///< register feeding each output link
+    int nRegs = 0;
+
+    // filter: keep lanes where (pred != 0) == sense; ins[0] is pred.
+    bool sense = true;
+    // fwdMerge/fbMerge: ins = A-bundle then B-bundle, each of outs.size().
+    // reduce: additive with this initial value.
+    Word init = 0;
+    // broadcast: ins = {deep, shallow}; hierarchy distance:
+    int level = 1;
+    // source payload: initial token stream
+    sltf::TokenStream seed;
+
+    // annotations for resource/timing models
+    int loopDepth = 0;    ///< enclosing while-loop nesting
+    int foreachDepth = 0; ///< enclosing foreach nesting
+    int replicateRegion = -1; ///< id of enclosing replicate (-1: none)
+    bool isBulk = false;  ///< part of a bulk DRAM transfer path
+};
+
+struct Link
+{
+    int id = -1;
+    std::string name;
+    int src = -1; ///< producer node
+    int dst = -1; ///< consumer node
+    bool vector = true; ///< vector vs scalar network resource
+    Scalar elem = Scalar::i32;
+};
+
+/** A replicate region's metadata (Section V-B(b), V-C(d)). */
+struct ReplicateInfo
+{
+    int id = -1;
+    int replicas = 1;
+    int liveValuesIn = 0;  ///< live values entering the region
+    int bufferized = 0;    ///< live values parked in SRAM around it
+    std::vector<int> nodeIds; ///< nodes inside the region
+};
+
+struct Dfg
+{
+    std::vector<Node> nodes;
+    std::vector<Link> links;
+    std::vector<ReplicateInfo> replicates;
+
+    Node &
+    newNode(NodeKind kind, std::string name)
+    {
+        Node n;
+        n.id = static_cast<int>(nodes.size());
+        n.kind = kind;
+        n.name = std::move(name);
+        nodes.push_back(std::move(n));
+        return nodes.back();
+    }
+
+    int
+    newLink(std::string name, Scalar elem = Scalar::i32)
+    {
+        Link l;
+        l.id = static_cast<int>(links.size());
+        l.name = std::move(name);
+        l.elem = elem;
+        links.push_back(std::move(l));
+        return links.back().id;
+    }
+
+    void
+    connectOut(int node, int link)
+    {
+        nodes[node].outs.push_back(link);
+        links[link].src = node;
+    }
+
+    void
+    connectIn(int node, int link)
+    {
+        nodes[node].ins.push_back(link);
+        links[link].dst = node;
+    }
+
+    /** Graphviz rendering for debugging / docs. */
+    std::string toDot() const;
+
+    /** Consistency check: every link has one producer and one consumer,
+     * node arities match their kind conventions. Throws on violation. */
+    void verify() const;
+};
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_DFG_HH

@@ -1,0 +1,279 @@
+#include "graph/exec.hh"
+
+#include <memory>
+#include <stdexcept>
+
+#include "dataflow/engine.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+using dataflow::Bundle;
+using dataflow::Channel;
+using lang::normalize;
+using lang::Scalar;
+
+namespace
+{
+
+/** Shared mutable memory state: DRAM image + dynamically allocated SRAM
+ * buffers (the MU allocator pool, unbounded in functional mode). */
+struct MachineMemory
+{
+    lang::DramImage &dram;
+    std::vector<std::vector<uint32_t>> heap;
+    ExecStats &stats;
+
+    uint32_t
+    alloc(int64_t size)
+    {
+        heap.emplace_back(static_cast<size_t>(size), 0u);
+        ++stats.sramAllocs;
+        return static_cast<uint32_t>(heap.size() - 1);
+    }
+
+    std::vector<uint32_t> *
+    buffer(uint32_t handle)
+    {
+        if (handle >= heap.size())
+            throw std::runtime_error("dangling SRAM handle in dataflow");
+        return &heap[handle];
+    }
+};
+
+uint32_t
+evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
+{
+    auto A = [&] { return regs[op.a]; };
+    auto B = [&] { return regs[op.b]; };
+    auto C = [&] { return regs[op.c]; };
+    auto sA = [&] { return static_cast<int32_t>(regs[op.a]); };
+    auto sB = [&] { return static_cast<int32_t>(regs[op.b]); };
+    switch (op.kind) {
+      case OpKind::cnst: return op.imm;
+      case OpKind::mov: return A();
+      case OpKind::add: return A() + B();
+      case OpKind::sub: return A() - B();
+      case OpKind::mul: return A() * B();
+      case OpKind::divs:
+        if (B() == 0)
+            throw std::runtime_error("division by zero in dataflow");
+        return static_cast<uint32_t>(sA() / sB());
+      case OpKind::divu:
+        if (B() == 0)
+            throw std::runtime_error("division by zero in dataflow");
+        return A() / B();
+      case OpKind::rems:
+        if (B() == 0)
+            throw std::runtime_error("remainder by zero in dataflow");
+        return static_cast<uint32_t>(sA() % sB());
+      case OpKind::remu:
+        if (B() == 0)
+            throw std::runtime_error("remainder by zero in dataflow");
+        return A() % B();
+      case OpKind::andb: return A() & B();
+      case OpKind::orb: return A() | B();
+      case OpKind::xorb: return A() ^ B();
+      case OpKind::shl: return A() << (B() & 31);
+      case OpKind::shrs: return static_cast<uint32_t>(sA() >> (B() & 31));
+      case OpKind::shru: return A() >> (B() & 31);
+      case OpKind::eq: return A() == B();
+      case OpKind::ne: return A() != B();
+      case OpKind::lts: return sA() < sB();
+      case OpKind::ltu: return A() < B();
+      case OpKind::les: return sA() <= sB();
+      case OpKind::leu: return A() <= B();
+      case OpKind::land: return (A() != 0 && B() != 0) ? 1 : 0;
+      case OpKind::lor: return (A() != 0 || B() != 0) ? 1 : 0;
+      case OpKind::lnot: return A() == 0 ? 1 : 0;
+      case OpKind::bnot: return ~A();
+      case OpKind::neg: return -A();
+      case OpKind::sel: return A() != 0 ? B() : C();
+      case OpKind::norm: return normalize(op.elem, A());
+      case OpKind::sramAlloc:
+        return mem.alloc(op.size);
+      case OpKind::sramRead: {
+        ++mem.stats.sramAccesses;
+        auto *buf = mem.buffer(A());
+        uint32_t idx = B();
+        return idx < buf->size() ? normalize(op.elem, (*buf)[idx]) : 0;
+      }
+      case OpKind::sramWrite: {
+        ++mem.stats.sramAccesses;
+        auto *buf = mem.buffer(A());
+        uint32_t idx = B();
+        if (idx < buf->size())
+            (*buf)[idx] = normalize(op.elem, C());
+        return 0;
+      }
+      case OpKind::rmwAdd:
+      case OpKind::rmwSub: {
+        ++mem.stats.sramAccesses;
+        auto *buf = mem.buffer(A());
+        uint32_t idx = B();
+        if (idx >= buf->size())
+            return 0;
+        uint32_t old = (*buf)[idx];
+        uint32_t next =
+            op.kind == OpKind::rmwAdd ? old + C() : old - C();
+        (*buf)[idx] = normalize(op.elem, next);
+        return normalize(op.elem, old);
+      }
+      case OpKind::dramRead: {
+        ++mem.stats.dramReadElems;
+        mem.stats.dramReadBytes += lang::dramElemBytes(op.elem);
+        return mem.dram.load(op.dram, A());
+      }
+      case OpKind::dramWrite: {
+        ++mem.stats.dramWriteElems;
+        mem.stats.dramWriteBytes += lang::dramElemBytes(op.elem);
+        mem.dram.store(op.dram, A(), B());
+        return 0;
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+ExecStats
+execute(const Dfg &dfg, lang::DramImage &dram,
+        const std::vector<int32_t> &args, uint64_t max_rounds)
+{
+    ExecStats stats;
+    auto mem = std::make_shared<MachineMemory>(
+        MachineMemory{dram, {}, stats});
+
+    dataflow::Engine engine;
+    std::vector<Channel *> chans(dfg.links.size(), nullptr);
+    for (const auto &link : dfg.links)
+        chans[link.id] = engine.channel(link.name);
+
+    size_t arg_idx = 0;
+    for (const auto &node_ref : dfg.nodes) {
+        const auto &node = node_ref;
+        const std::string uname =
+            node.name + "#" + std::to_string(node.id);
+        auto bundleIn = [&](size_t from, size_t count) {
+            Bundle b;
+            for (size_t i = from; i < from + count; ++i)
+                b.push_back(chans[node.ins[i]]);
+            return b;
+        };
+        auto bundleOut = [&]() {
+            Bundle b;
+            for (int l : node.outs)
+                b.push_back(chans[l]);
+            return b;
+        };
+        switch (node.kind) {
+          case NodeKind::source: {
+            sltf::TokenStream seed;
+            if (node.name == "__start") {
+                seed = sltf::StreamBuilder().d(0).b(1);
+            } else {
+                if (arg_idx >= args.size()) {
+                    throw std::runtime_error(
+                        "dataflow program expects more arguments");
+                }
+                seed = sltf::StreamBuilder()
+                           .d(static_cast<Word>(args[arg_idx++]))
+                           .b(1);
+            }
+            engine.make<dataflow::Source>(node.name, chans[node.outs[0]],
+                                          std::move(seed));
+            break;
+          }
+          case NodeKind::sink:
+            engine.make<dataflow::Sink>(node.name, chans[node.ins[0]]);
+            break;
+          case NodeKind::fanout: {
+            std::vector<Channel *> outs;
+            for (int l : node.outs)
+                outs.push_back(chans[l]);
+            engine.make<dataflow::Fanout>(node.name, chans[node.ins[0]],
+                                          std::move(outs));
+            break;
+          }
+          case NodeKind::block: {
+            const Node *n = &node;
+            auto fn = [n, mem](const std::vector<Word> &in,
+                               std::vector<Word> &out) {
+                std::vector<Word> regs(n->nRegs, 0);
+                for (size_t i = 0; i < in.size(); ++i)
+                    regs[n->inputRegs[i]] = in[i];
+                for (const auto &op : n->ops) {
+                    if (op.guard >= 0 && regs[op.guard] == 0)
+                        continue;
+                    uint32_t v = evalOp(op, regs, *mem);
+                    if (op.dst >= 0)
+                        regs[op.dst] = v;
+                }
+                for (int reg : n->outputRegs)
+                    out.push_back(regs[reg]);
+            };
+            engine.make<dataflow::ElementWise>(
+                node.name, bundleIn(0, node.ins.size()), bundleOut(),
+                std::move(fn));
+            break;
+          }
+          case NodeKind::counter:
+            engine.make<dataflow::Counter>(
+                node.name, chans[node.ins[0]], chans[node.ins[1]],
+                chans[node.ins[2]], chans[node.outs[0]]);
+            break;
+          case NodeKind::broadcast:
+            engine.make<dataflow::Broadcast>(
+                node.name, chans[node.ins[0]], chans[node.ins[1]],
+                chans[node.outs[0]], node.level);
+            break;
+          case NodeKind::reduce:
+            engine.make<dataflow::Reduce>(
+                node.name, chans[node.ins[0]], chans[node.outs[0]],
+                [](Word a, Word b) { return a + b; }, node.init);
+            break;
+          case NodeKind::flatten:
+            engine.make<dataflow::Flatten>(node.name, chans[node.ins[0]],
+                                           chans[node.outs[0]]);
+            break;
+          case NodeKind::filter:
+            engine.make<dataflow::Filter>(
+                uname, chans[node.ins[0]],
+                bundleIn(1, node.ins.size() - 1), bundleOut(),
+                node.sense);
+            break;
+          case NodeKind::fwdMerge: {
+            size_t half = node.outs.size();
+            engine.make<dataflow::ForwardMerge>(
+                node.name, bundleIn(0, half), bundleIn(half, half),
+                bundleOut());
+            break;
+          }
+          case NodeKind::fbMerge: {
+            size_t half = node.outs.size();
+            engine.make<dataflow::FwdBackMerge>(
+                node.name, bundleIn(0, half), bundleIn(half, half),
+                bundleOut());
+            break;
+          }
+        }
+    }
+
+    stats.engineRounds = engine.run(max_rounds);
+    stats.drained = engine.drained();
+    if (!stats.drained) {
+        throw std::runtime_error("dataflow execution stalled: " +
+                                 engine.stallReport());
+    }
+    stats.linkTokens.resize(dfg.links.size(), 0);
+    stats.linkBarriers.resize(dfg.links.size(), 0);
+    const auto &channels = engine.channels();
+    for (size_t i = 0; i < dfg.links.size(); ++i)
+        stats.linkTokens[i] = channels[i]->totalPushed();
+    return stats;
+}
+
+} // namespace graph
+} // namespace revet

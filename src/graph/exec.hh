@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional executor for compiled dataflow graphs.
+ *
+ * Instantiates a Dfg as a network of streaming primitives (dataflow/)
+ * over a DramImage and runs it to quiescence. This is the semantic
+ * reference for the compiled path: tests require its DRAM output to be
+ * bit-identical to the AST interpreter's. The per-link token counts it
+ * returns feed the link-bandwidth analysis and the cycle model.
+ */
+
+#ifndef REVET_GRAPH_EXEC_HH
+#define REVET_GRAPH_EXEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dfg.hh"
+#include "lang/dram_image.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+struct ExecStats
+{
+    uint64_t engineRounds = 0;
+    uint64_t dramReadElems = 0;
+    uint64_t dramWriteElems = 0;
+    uint64_t dramReadBytes = 0;
+    uint64_t dramWriteBytes = 0;
+    uint64_t sramAccesses = 0;
+    uint64_t sramAllocs = 0;
+    bool drained = false;
+    /** Data tokens that crossed each link (indexed by link id). */
+    std::vector<uint64_t> linkTokens;
+    /** Barrier tokens per link. */
+    std::vector<uint64_t> linkBarriers;
+};
+
+/**
+ * Execute @p dfg against @p dram with main's @p args.
+ *
+ * @throws std::runtime_error on machine-model violations or livelock.
+ */
+ExecStats execute(const Dfg &dfg, lang::DramImage &dram,
+                  const std::vector<int32_t> &args,
+                  uint64_t max_rounds = 1u << 26);
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_EXEC_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * HIR-to-dataflow lowering (Section V-C).
+ *
+ * Structured control flow becomes the streaming primitives of Section
+ * III-B: basic blocks become element-wise contexts over thread bundles,
+ * if statements become filter pairs + forward merges, while loops become
+ * bypass filters + forward-backward merges with hierarchy-stripped
+ * exits, foreach becomes counter/broadcast expansion + an additive
+ * reduce, and fork becomes counter/broadcast + flatten. A per-thread
+ * "thread token" stream threads through every context so that thread
+ * structure exists even where no user value is live.
+ *
+ * Input programs must already be through passes::runPipeline (no memory
+ * adapters other than SRAM).
+ */
+
+#ifndef REVET_GRAPH_LOWER_HH
+#define REVET_GRAPH_LOWER_HH
+
+#include "graph/dfg.hh"
+#include "lang/ast.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+struct LowerOptions
+{
+    /** Resource-model toggles recorded on the graph (Section V-B). */
+    bool packSubWords = true;
+    bool bufferizeReplicate = true;
+    bool hoistAllocators = true;
+};
+
+/**
+ * Lower @p program (post-pass-pipeline) to a dataflow graph.
+ *
+ * @throws lang::CompileError on unsupported shapes (e.g. remaining
+ * memory adapters, a while body that terminates every thread).
+ */
+Dfg lower(const lang::Program &program, const LowerOptions &opts = {});
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_LOWER_HH

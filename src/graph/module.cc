@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the graph subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace graph
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "graph";
+}
+
+} // namespace graph
+} // namespace revet

@@ -1,0 +1,201 @@
+#include "graph/resources.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace revet
+{
+namespace graph
+{
+
+std::string
+ResourceReport::summary() const
+{
+    std::ostringstream os;
+    os << "outer=" << outerParallel << " lanes=" << lanesTotal
+       << " CU=" << totalCU << " MU=" << totalMU << " AG=" << totalAG
+       << " (inner " << innerCU << "/" << innerMU << "/" << innerAG
+       << ", repl " << replCU << "/" << replMU << ", dead " << deadlockMU
+       << ", retime " << retimeMU << ")";
+    return os.str();
+}
+
+namespace
+{
+
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+ResourceReport
+analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
+                 const ResourceOptions &opts)
+{
+    ResourceReport rep;
+
+    // ---- Section V-D(a): vector/scalar link analysis --------------------
+    // Links default to vector; while-loop low-traffic edges, replicate
+    // entries/exits, and the main entry map to scalar resources.
+    for (auto &link : dfg.links)
+        link.vector = true;
+    for (auto &node : dfg.nodes) {
+        if (node.kind == NodeKind::source) {
+            for (int l : node.outs)
+                dfg.links[l].vector = false;
+        }
+        // While-exit/bypass edges: rare-case paths (e.g. hash probes).
+        if (node.kind == NodeKind::filter &&
+            (node.name == "while.skip" || node.name == "while.exit") &&
+            node.loopDepth == 0) {
+            for (int l : node.outs)
+                dfg.links[l].vector = false;
+        }
+    }
+    for (const auto &link : dfg.links) {
+        if (link.vector)
+            ++rep.vectorLinks;
+        else
+            ++rep.scalarLinks;
+    }
+
+    // ---- per-node context accounting ------------------------------------
+    int repl_factor = 1;
+    for (const auto &region : dfg.replicates)
+        repl_factor = std::max(repl_factor, region.replicas);
+    if (opts.replicateOverride > 0)
+        repl_factor = opts.replicateOverride;
+    rep.replicateFactor = repl_factor;
+
+    auto isInner = [&](const Node &n) {
+        return !n.isBulk &&
+            (n.foreachDepth > 0 || n.loopDepth > 0 ||
+             n.replicateRegion >= 0);
+    };
+
+    // Small contexts fuse: stage-slots accumulate fractionally and are
+    // rounded up per region (inner/outer), alongside the input-buffer
+    // floor for wide blocks.
+    double inner_stage_slots = 0, outer_stage_slots = 0;
+    for (const auto &node : dfg.nodes) {
+        bool inner = isInner(node);
+        int *cu = inner ? &rep.innerCU : &rep.outerCU;
+        int *mu = inner ? &rep.innerMU : &rep.outerMU;
+        int *ag = inner ? &rep.innerAG : &rep.outerAG;
+        switch (node.kind) {
+          case NodeKind::block: {
+            int alu = 0, sram_ops = 0, dram_ops = 0;
+            for (const auto &op : node.ops) {
+                if (isSramOp(op.kind))
+                    ++sram_ops;
+                else if (isDramOp(op.kind))
+                    ++dram_ops;
+                else if (op.kind != OpKind::cnst &&
+                         op.kind != OpKind::mov)
+                    ++alu;
+            }
+            // Six registers per lane per stage let several chained
+            // ops share one stage slot; small contexts fuse.
+            const double ops_per_stage = 6.0;
+            (inner ? inner_stage_slots : outer_stage_slots) +=
+                static_cast<double>(std::max(alu, 1)) /
+                (machine.stages * ops_per_stage);
+            // Memory ops map onto MU/AG contexts; accesses to one
+            // buffer share its MU banks (V-D(b)).
+            *mu += ceilDiv(sram_ops, 4);
+            *ag += ceilDiv(dram_ops, 2);
+            break;
+          }
+          case NodeKind::fwdMerge:
+          case NodeKind::fbMerge: {
+            // Two vector-vector merges per context; four scalar-vector.
+            int width = static_cast<int>(node.outs.size());
+            if (opts.packSubWords) {
+                // Pack narrow live values into shared 32-bit lanes.
+                int bits = 0;
+                for (int l : node.outs)
+                    bits += lang::bitWidth(dfg.links[l].elem);
+                width = std::max(1, ceilDiv(bits, 32));
+            }
+            bool scal_side = !dfg.links[node.ins[0]].vector;
+            *cu += ceilDiv(width, scal_side ? 8 : 4);
+            if (node.kind == NodeKind::fbMerge) {
+                // Recirculation needs thread-in-flight buffering to
+                // avoid deadlock (Section V-D(b)).
+                rep.deadlockMU += ceilDiv(width, 4);
+            }
+            break;
+          }
+          case NodeKind::counter:
+          case NodeKind::broadcast:
+          case NodeKind::filter:
+          case NodeKind::reduce:
+          case NodeKind::flatten:
+          case NodeKind::fanout:
+          case NodeKind::source:
+          case NodeKind::sink:
+            // Pipeline-head/tail logic: folds into adjacent contexts
+            // (consumes buffers/outputs, modeled via merges above).
+            break;
+        }
+    }
+
+    rep.innerCU += static_cast<int>(std::ceil(inner_stage_slots));
+    rep.outerCU += static_cast<int>(std::ceil(outer_stage_slots));
+
+    // ---- replicate distribution / collection (V-C(d), V-B(b)) ----------
+    for (const auto &region : dfg.replicates) {
+        int live = region.liveValuesIn;
+        int parked = region.bufferized;
+        if (!opts.bufferizeReplicate) {
+            // Pass-over values must be carried through the region's
+            // distribution and merge trees instead of parked in SRAM.
+            live += parked;
+            parked = 0;
+        }
+        // Work distribution: one filter tree + retiming per replica;
+        // collection: a forward-merge tree.
+        rep.replCU += ceilDiv(region.replicas * std::max(live, 1), 4);
+        rep.replMU += opts.hoistAllocators ? 1 : region.replicas;
+        rep.bufferMU += parked > 0 ? ceilDiv(parked, 4) : 0;
+        rep.retimeMU += region.replicas; // link-retiming buffers
+    }
+
+    // ---- retiming for path-delay imbalance (V-D(b)) ---------------------
+    int merges = 0;
+    for (const auto &node : dfg.nodes)
+        merges += node.kind == NodeKind::fwdMerge;
+    rep.retimeMU += ceilDiv(merges, 2);
+
+    // ---- outer-parallelism scaling (Table IV methodology) ---------------
+    int streamCU = rep.innerCU * repl_factor + rep.replCU;
+    int streamMU = (rep.innerMU + rep.deadlockMU) * repl_factor +
+        rep.replMU + rep.bufferMU + rep.retimeMU;
+    int streamAG = rep.innerAG * repl_factor;
+    streamCU = std::max(streamCU, 1);
+    streamMU = std::max(streamMU, 1);
+    streamAG = std::max(streamAG, 1);
+
+    double budgetCU = machine.targetUtilization * machine.numCU;
+    double budgetMU = machine.targetUtilization * machine.numMU;
+    double budgetAG = machine.targetUtilization * machine.numAG;
+    int k = static_cast<int>(std::min(
+        {(budgetCU - rep.outerCU) / streamCU,
+         (budgetMU - rep.outerMU) / streamMU,
+         (budgetAG - rep.outerAG) / streamAG}));
+    rep.outerParallel = std::max(1, k);
+
+    rep.totalCU = rep.outerCU + rep.outerParallel * streamCU;
+    rep.totalMU = rep.outerMU + rep.outerParallel * streamMU;
+    rep.totalAG = rep.outerAG + rep.outerParallel * streamAG;
+    rep.lanesTotal =
+        rep.outerParallel * repl_factor * machine.lanes;
+    return rep;
+}
+
+} // namespace graph
+} // namespace revet

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Resource model: map a lowered dataflow graph onto the Table II machine
+ * (Section V-D splitting + Table IV accounting).
+ *
+ * Virtual block contexts are split against the per-CU stage/buffer
+ * limits; SRAM operations map to MU contexts and DRAM operations to AG
+ * contexts; merges fold into downstream contexts at two vector-vector
+ * (or four scalar-vector) merges per context. Replicate regions multiply
+ * their inner pipelines and add distribution/collection logic, with
+ * bufferization (Section V-B(b)) parking pass-over live values in SRAM.
+ * The outer-parallelism factor is then chosen to fill ~70% of the
+ * critical resource, reproducing the Table IV methodology.
+ */
+
+#ifndef REVET_GRAPH_RESOURCES_HH
+#define REVET_GRAPH_RESOURCES_HH
+
+#include <string>
+
+#include "graph/dfg.hh"
+#include "sim/machine.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+/** Knobs for the Figure 12 ablation (graph-level optimizations). */
+struct ResourceOptions
+{
+    bool packSubWords = true;       ///< pack i8/i16 across merges
+    bool bufferizeReplicate = true; ///< SRAM-park values around replicate
+    bool hoistAllocators = true;    ///< one global allocator per region
+    int replicateOverride = 0;      ///< >0: force replicate factor
+};
+
+/** One pipeline's resource footprint + the scaled totals (Table IV). */
+struct ResourceReport
+{
+    // One outer-parallel stream (inner pipeline x replicate factor).
+    int innerCU = 0, innerMU = 0, innerAG = 0;
+    // Outer/tile paths (argument & result streams).
+    int outerCU = 0, outerMU = 0, outerAG = 0;
+    // Replicate distribution/collection overhead.
+    int replCU = 0, replMU = 0;
+    // Buffering MUs.
+    int deadlockMU = 0, bufferMU = 0, retimeMU = 0;
+
+    int replicateFactor = 1;
+    int outerParallel = 1; ///< streams mapped (70% target)
+    int lanesTotal = 0;    ///< outerParallel x lanes x vector pipelines
+
+    int totalCU = 0, totalMU = 0, totalAG = 0;
+
+    /** Scalar-vs-vector link tally (Section V-D link analysis). */
+    int vectorLinks = 0, scalarLinks = 0;
+
+    std::string summary() const;
+};
+
+/** Analyze @p dfg against @p machine. Marks link widths in place. */
+ResourceReport analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
+                                const ResourceOptions &opts = {});
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_RESOURCES_HH

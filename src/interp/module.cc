@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the interp subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace interp
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "interp";
+}
+
+} // namespace interp
+} // namespace revet

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the ir subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace ir
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "ir";
+}
+
+} // namespace ir
+} // namespace revet

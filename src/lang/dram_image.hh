@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DRAM image: host-visible backing store for a program's DRAM globals.
+ *
+ * Each `DRAM<T> name;` global owns one byte region. The reference
+ * interpreter, the compiled-dataflow executor, and the cycle simulator
+ * all operate on this image, so end-to-end tests can compare output
+ * regions bit-for-bit.
+ */
+
+#ifndef REVET_LANG_DRAM_IMAGE_HH
+#define REVET_LANG_DRAM_IMAGE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+
+namespace revet
+{
+namespace lang
+{
+
+class DramImage
+{
+  public:
+    /** Create one region per DRAM global of @p program (initially empty,
+     * bind sizes with resize()). */
+    explicit DramImage(const Program &program);
+
+    /** Size region @p name to @p bytes (zero-filled). */
+    void resize(const std::string &name, size_t bytes);
+
+    /** Raw bytes of a region. */
+    std::vector<uint8_t> &bytes(const std::string &name);
+    std::vector<uint8_t> &bytes(int dram);
+    const std::vector<uint8_t> &bytes(int dram) const;
+
+    int dramCount() const { return static_cast<int>(regions_.size()); }
+    Scalar elemType(int dram) const { return elems_[dram]; }
+    const std::string &name(int dram) const { return names_[dram]; }
+
+    /** Element count of region @p dram given its element type. */
+    size_t elemCount(int dram) const;
+
+    /**
+     * Read element @p idx (sign-/zero-extended to a 32-bit lane).
+     * Out-of-range reads return 0 — hardware reads past the buffer are
+     * undefined; 0 keeps simulation deterministic.
+     */
+    uint32_t load(int dram, uint64_t idx) const;
+
+    /** Write element @p idx (no-op out of range). */
+    void store(int dram, uint64_t idx, uint32_t value);
+
+    /** Convenience typed fill from a host vector. */
+    template <typename T>
+    void
+    fill(const std::string &region, const std::vector<T> &data)
+    {
+        resize(region, data.size() * sizeof(T));
+        std::memcpy(bytes(region).data(), data.data(),
+                    data.size() * sizeof(T));
+    }
+
+    /** Convenience typed read-back. */
+    template <typename T>
+    std::vector<T>
+    read(const std::string &region)
+    {
+        auto &b = bytes(region);
+        std::vector<T> out(b.size() / sizeof(T));
+        std::memcpy(out.data(), b.data(), out.size() * sizeof(T));
+        return out;
+    }
+
+    /** Total bytes across all regions. */
+    size_t totalBytes() const;
+
+  private:
+    int indexOf(const std::string &name) const;
+
+    std::vector<std::string> names_;
+    std::vector<Scalar> elems_;
+    std::vector<std::vector<uint8_t>> regions_;
+};
+
+} // namespace lang
+} // namespace revet
+
+#endif // REVET_LANG_DRAM_IMAGE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lexer for the Revet language.
+ */
+
+#ifndef REVET_LANG_LEX_HH
+#define REVET_LANG_LEX_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace revet
+{
+namespace lang
+{
+
+/** Kinds of lexical tokens. */
+enum class Tok
+{
+    eof,
+    ident,
+    intLit,
+    charLit,
+    strLit,
+    // keywords
+    kwDram, kwSram, kwReadView, kwWriteView, kwModifyView,
+    kwReadIt, kwPeekReadIt, kwWriteIt, kwManualWriteIt,
+    kwVoid, kwInt, kwUint, kwChar, kwUchar, kwShort, kwUshort, kwBool,
+    kwIf, kwElse, kwWhile, kwForeach, kwReplicate, kwFork, kwExit,
+    kwReturn, kwPragma, kwBy, kwTrue, kwFalse, kwFlush,
+    // punctuation / operators
+    lparen, rparen, lbrace, rbrace, lbracket, rbracket,
+    lt, gt, le, ge, eq, ne,
+    semi, comma, arrow, assign,
+    plus, minus, star, slash, percent,
+    amp, pipe, caret, tilde, bang,
+    shl, shr, andand, oror,
+    plusplus, minusminus,
+    plusAssign, minusAssign, starAssign, ampAssign, pipeAssign,
+    caretAssign, shlAssign, shrAssign,
+    question, colon,
+};
+
+std::string tokName(Tok tok);
+
+/** One lexical token with source position. */
+struct Lexeme
+{
+    Tok kind = Tok::eof;
+    std::string text;   ///< identifier / literal spelling
+    int64_t value = 0;  ///< integer value for intLit/charLit
+    int line = 0;
+    int col = 0;
+};
+
+/** Raised by the lexer/parser/sema on malformed programs. */
+class CompileError : public std::runtime_error
+{
+  public:
+    CompileError(const std::string &msg, int line, int col)
+        : std::runtime_error("line " + std::to_string(line) + ":" +
+                             std::to_string(col) + ": " + msg),
+          line(line), col(col)
+    {}
+
+    int line;
+    int col;
+};
+
+/** Tokenize @p source; throws CompileError on bad input. */
+std::vector<Lexeme> lex(const std::string &source);
+
+} // namespace lang
+} // namespace revet
+
+#endif // REVET_LANG_LEX_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the lang subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace lang
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "lang";
+}
+
+} // namespace lang
+} // namespace revet

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Recursive-descent parser for the Revet language.
+ *
+ * Produces a name-resolved-later AST (slots = -1); see sema.hh for the
+ * analysis that binds names, checks types, and inlines user functions.
+ */
+
+#ifndef REVET_LANG_PARSE_HH
+#define REVET_LANG_PARSE_HH
+
+#include <string>
+
+#include "lang/ast.hh"
+#include "lang/lex.hh"
+
+namespace revet
+{
+namespace lang
+{
+
+/** Parse Revet source text into an unanalyzed Program. */
+Program parse(const std::string &source);
+
+/** Parse + run semantic analysis; the normal entry point. */
+Program parseAndAnalyze(const std::string &source);
+
+} // namespace lang
+} // namespace revet
+
+#endif // REVET_LANG_PARSE_HH

@@ -1,0 +1,790 @@
+#include "lang/sema.hh"
+
+#include <map>
+#include <set>
+
+#include "lang/lex.hh"
+
+namespace revet
+{
+namespace lang
+{
+
+namespace
+{
+
+/** Promote a narrow type to its 32-bit lane type. */
+Scalar
+promote(Scalar type)
+{
+    switch (type) {
+      case Scalar::u8:
+      case Scalar::u16:
+      case Scalar::u32:
+        return Scalar::u32;
+      case Scalar::boolTy:
+        return Scalar::i32;
+      default:
+        return Scalar::i32;
+    }
+}
+
+Scalar
+commonType(Scalar a, Scalar b)
+{
+    Scalar pa = promote(a), pb = promote(b);
+    if (pa == Scalar::u32 || pb == Scalar::u32)
+        return Scalar::u32;
+    return Scalar::i32;
+}
+
+class Sema
+{
+  public:
+    explicit Sema(Program &prog) : prog_(prog) {}
+
+    void
+    run()
+    {
+        Function *main = prog_.main();
+        if (!main)
+            throw CompileError("program has no main function", 1, 1);
+        for (const auto &fn : prog_.functions) {
+            if (fn->name != "main")
+                callees_[fn->name] = fn.get();
+        }
+        fn_ = main;
+        pushScope();
+        for (size_t i = 0; i < main->paramSlots.size(); ++i) {
+            int slot = main->paramSlots[i];
+            if (main->slots[slot].type == Scalar::voidTy) {
+                throw CompileError("void parameter in main", 1, 1);
+            }
+            bind(main->slots[slot].name, slot);
+        }
+        analyzeBlockInPlace(main->bodyStmt->body);
+        popScope();
+
+        // Drop the inlined callees.
+        std::vector<std::unique_ptr<Function>> keep;
+        for (auto &fn : prog_.functions) {
+            if (fn->name == "main")
+                keep.push_back(std::move(fn));
+        }
+        prog_.functions = std::move(keep);
+    }
+
+  private:
+    using Scope = std::map<std::string, int>;
+
+    void pushScope() { scopes_.push_back({}); }
+    void popScope() { scopes_.pop_back(); }
+
+    void
+    bind(const std::string &name, int slot)
+    {
+        scopes_.back()[name] = slot;
+    }
+
+    int
+    lookup(const std::string &name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        return -1;
+    }
+
+    [[noreturn]] void
+    fail(const Stmt &s, const std::string &msg)
+    {
+        throw CompileError(msg, s.line, s.col);
+    }
+
+    [[noreturn]] void
+    fail(const Expr &e, const std::string &msg)
+    {
+        throw CompileError(msg, e.line, e.col);
+    }
+
+    SlotInfo &slot(int idx) { return fn_->slots[idx]; }
+
+    int
+    newSlot(const std::string &name, Scalar type,
+            AdapterKind adapter = AdapterKind::none, int64_t size = 0,
+            int dram = -1)
+    {
+        SlotInfo info;
+        info.name = name;
+        info.type = type;
+        info.adapter = adapter;
+        info.size = size;
+        info.dram = dram;
+        info.foreachDepth = foreach_depth_;
+        return fn_->addSlot(std::move(info));
+    }
+
+    /** Insert a cast if @p expr is not already of @p type. */
+    static ExprPtr
+    coerce(ExprPtr expr, Scalar type)
+    {
+        if (expr->type == type)
+            return expr;
+        auto cast = makeCast(std::move(expr), type);
+        return cast;
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    void
+    analyzeExpr(ExprPtr &e, bool stmt_ctx = false)
+    {
+        switch (e->kind) {
+          case ExprKind::intConst:
+            if (e->type == Scalar::invalid)
+                e->type = Scalar::i32;
+            return;
+          case ExprKind::varRef: {
+            if (e->slot < 0) {
+                e->slot = lookup(e->name);
+                if (e->slot < 0)
+                    fail(*e, "undeclared identifier '" + e->name + "'");
+            }
+            const SlotInfo &info = slot(e->slot);
+            if (info.adapter != AdapterKind::none) {
+                fail(*e, "'" + e->name +
+                             "' is a memory adapter; use indexing or "
+                             "dereference");
+            }
+            e->type = info.type;
+            return;
+          }
+          case ExprKind::unary: {
+            analyzeExpr(e->a);
+            requireInteger(*e->a);
+            if (e->uop == UnOp::logNot)
+                e->type = Scalar::boolTy;
+            else
+                e->type = promote(e->a->type);
+            return;
+          }
+          case ExprKind::binary: {
+            analyzeExpr(e->a);
+            analyzeExpr(e->b);
+            requireInteger(*e->a);
+            requireInteger(*e->b);
+            switch (e->bop) {
+              case BinOp::eq:
+              case BinOp::ne:
+              case BinOp::lt:
+              case BinOp::le:
+              case BinOp::gt:
+              case BinOp::ge: {
+                Scalar common = commonType(e->a->type, e->b->type);
+                e->a = coerce(std::move(e->a), common);
+                e->b = coerce(std::move(e->b), common);
+                e->type = Scalar::boolTy;
+                return;
+              }
+              case BinOp::logicalAnd:
+              case BinOp::logicalOr:
+                e->type = Scalar::boolTy;
+                return;
+              case BinOp::shl:
+              case BinOp::shr:
+                e->type = promote(e->a->type);
+                return;
+              default: {
+                Scalar common = commonType(e->a->type, e->b->type);
+                e->a = coerce(std::move(e->a), common);
+                e->b = coerce(std::move(e->b), common);
+                e->type = common;
+                return;
+              }
+            }
+          }
+          case ExprKind::cond: {
+            analyzeExpr(e->a);
+            analyzeExpr(e->b);
+            analyzeExpr(e->c);
+            requireInteger(*e->a);
+            Scalar common = commonType(e->b->type, e->c->type);
+            e->b = coerce(std::move(e->b), common);
+            e->c = coerce(std::move(e->c), common);
+            e->type = common;
+            return;
+          }
+          case ExprKind::cast:
+            analyzeExpr(e->a);
+            return;
+          case ExprKind::indexRead: {
+            analyzeExpr(e->a);
+            requireInteger(*e->a);
+            int dram = prog_.dramId(e->name);
+            int local = lookup(e->name);
+            if (local >= 0) {
+                const SlotInfo &info = slot(local);
+                if (info.adapter == AdapterKind::none) {
+                    fail(*e, "'" + e->name + "' is not indexable");
+                }
+                if (info.adapter == AdapterKind::peekReadIt) {
+                    // it[k]: peek k elements ahead.
+                    e->kind = ExprKind::peekIt;
+                    e->slot = local;
+                    e->type = info.type;
+                    return;
+                }
+                if (!adapterReads(info.adapter)) {
+                    fail(*e, "adapter '" + e->name + "' (" +
+                                 toString(info.adapter) +
+                                 ") does not support reads");
+                }
+                if (isIterator(info.adapter)) {
+                    fail(*e, "iterator '" + e->name +
+                                 "' must be accessed with * or it[k]");
+                }
+                e->slot = local;
+                e->type = info.type;
+                return;
+            }
+            if (dram >= 0) {
+                e->dram = dram;
+                e->type = prog_.drams[dram].elem;
+                return;
+            }
+            fail(*e, "undeclared memory '" + e->name + "'");
+          }
+          case ExprKind::derefIt: {
+            int local = lookup(e->name);
+            if (local < 0)
+                fail(*e, "undeclared iterator '" + e->name + "'");
+            const SlotInfo &info = slot(local);
+            if (info.adapter != AdapterKind::readIt &&
+                info.adapter != AdapterKind::peekReadIt) {
+                fail(*e, "'" + e->name + "' is not a read iterator");
+            }
+            requireIteratorOwner(*e, info);
+            e->slot = local;
+            e->type = info.type;
+            return;
+          }
+          case ExprKind::peekIt:
+            return; // produced above, already analyzed
+          case ExprKind::forkExpr:
+            fail(*e, "fork(n) may only initialize a declaration: "
+                     "`int i = fork(n);`");
+          case ExprKind::atomicRmw:
+            return; // produced below, already analyzed
+          case ExprKind::call: {
+            if (e->name == "fetch_add" || e->name == "fetch_sub") {
+                // fetch_add(sram, idx, delta): atomic RMW at the memory
+                // unit; yields the old value. Used for cross-thread
+                // coordination (Figure 9 / kD-tree completion counts).
+                if (e->args.size() != 3 ||
+                    e->args[0]->kind != ExprKind::varRef) {
+                    fail(*e, e->name +
+                                 " expects (sram, index, delta)");
+                }
+                int local = lookup(e->args[0]->name);
+                if (local < 0 ||
+                    slot(local).adapter != AdapterKind::sram) {
+                    fail(*e, e->name + ": first argument must be an "
+                                       "SRAM buffer");
+                }
+                analyzeExpr(e->args[1]);
+                analyzeExpr(e->args[2]);
+                requireInteger(*e->args[1]);
+                requireInteger(*e->args[2]);
+                auto rmw = std::make_unique<Expr>();
+                rmw->kind = ExprKind::atomicRmw;
+                rmw->bop = e->name == "fetch_add" ? BinOp::add
+                                                  : BinOp::sub;
+                rmw->slot = local;
+                rmw->a = std::move(e->args[1]);
+                rmw->b = std::move(e->args[2]);
+                rmw->type = slot(local).type;
+                e = std::move(rmw);
+                return;
+            }
+            // Builtins first.
+            if (e->name == "min" || e->name == "max") {
+                if (e->args.size() != 2)
+                    fail(*e, e->name + " expects two arguments");
+                auto cond = std::make_unique<Expr>();
+                cond->kind = ExprKind::binary;
+                cond->bop = e->name == "min" ? BinOp::lt : BinOp::gt;
+                cond->a = e->args[0]->clone();
+                cond->b = e->args[1]->clone();
+                auto sel = std::make_unique<Expr>();
+                sel->kind = ExprKind::cond;
+                sel->a = std::move(cond);
+                sel->b = std::move(e->args[0]);
+                sel->c = std::move(e->args[1]);
+                e = std::move(sel);
+                analyzeExpr(e, stmt_ctx);
+                return;
+            }
+            if (e->name == "abs") {
+                if (e->args.size() != 1)
+                    fail(*e, "abs expects one argument");
+                auto zero = makeIntConst(0);
+                auto cond = std::make_unique<Expr>();
+                cond->kind = ExprKind::binary;
+                cond->bop = BinOp::lt;
+                cond->a = e->args[0]->clone();
+                cond->b = std::move(zero);
+                auto negated = std::make_unique<Expr>();
+                negated->kind = ExprKind::unary;
+                negated->uop = UnOp::neg;
+                negated->a = e->args[0]->clone();
+                auto sel = std::make_unique<Expr>();
+                sel->kind = ExprKind::cond;
+                sel->a = std::move(cond);
+                sel->b = std::move(negated);
+                sel->c = std::move(e->args[0]);
+                e = std::move(sel);
+                analyzeExpr(e, stmt_ctx);
+                return;
+            }
+            inlineCall(e);
+            return;
+          }
+        }
+    }
+
+    void
+    requireInteger(const Expr &e)
+    {
+        if (!isInteger(e.type))
+            fail(e, "expected an integer value");
+    }
+
+    void
+    requireIteratorOwner(const Expr &e, const SlotInfo &info)
+    {
+        if (info.foreachDepth != foreach_depth_) {
+            fail(e, "iterator '" + info.name +
+                        "' is thread state and cannot cross a foreach "
+                        "boundary");
+        }
+    }
+
+    /** Inline a user-function call; emits arg binding into pending_. */
+    void
+    inlineCall(ExprPtr &e)
+    {
+        auto it = callees_.find(e->name);
+        if (it == callees_.end())
+            fail(*e, "unknown function '" + e->name + "'");
+        const Function *callee = it->second;
+        if (inlining_.count(e->name))
+            fail(*e, "recursive call to '" + e->name + "' not supported");
+        if (callee->returnType == Scalar::voidTy)
+            fail(*e, "void function in expression context");
+        if (e->args.size() != callee->paramSlots.size())
+            fail(*e, "wrong argument count for '" + e->name + "'");
+        if (!allow_pending_) {
+            fail(*e, "calls are not allowed in while conditions; hoist "
+                     "into the loop body");
+        }
+
+        inlining_.insert(e->name);
+        pushScope();
+        // Bind parameters to fresh slots initialized from the arguments.
+        for (size_t i = 0; i < e->args.size(); ++i) {
+            const SlotInfo &pinfo =
+                callee->slots[callee->paramSlots[i]];
+            int pslot = newSlot(pinfo.name, pinfo.type);
+            bind(pinfo.name, pslot);
+            analyzeExpr(e->args[i]);
+            auto asg = makeAssign(
+                pslot, coerce(std::move(e->args[i]), pinfo.type));
+            pending_.push_back(std::move(asg));
+        }
+        // Result slot.
+        int rslot = newSlot("__" + e->name + "_ret", callee->returnType);
+
+        // Clone the body; the last statement must be `return expr;`.
+        auto body = callee->bodyStmt->clone();
+        if (body->body.empty() ||
+            body->body.back()->kind != StmtKind::returnStmt ||
+            !body->body.back()->value) {
+            fail(*e, "inlinable function '" + e->name +
+                         "' must end with `return <expr>;`");
+        }
+        for (auto &stmt : body->body) {
+            if (stmt->kind == StmtKind::returnStmt) {
+                if (stmt.get() != body->body.back().get())
+                    fail(*e, "'" + e->name +
+                                 "': only a single trailing return is "
+                                 "supported for inlining");
+                auto asg = std::make_unique<Stmt>();
+                asg->kind = StmtKind::assign;
+                asg->slot = rslot;
+                asg->value = std::move(stmt->value);
+                stmt = std::move(asg);
+            }
+        }
+        // Analyze the inlined statements in the parameter scope and
+        // append them to the pending list.
+        for (auto &stmt : body->body) {
+            analyzeStmt(stmt);
+            pending_.push_back(std::move(stmt));
+        }
+        popScope();
+        inlining_.erase(callees_.find(e->name)->first);
+
+        // Replace the call with a read of the result slot; fix the
+        // trailing assign's type.
+        for (auto &p : pending_) {
+            if (p->kind == StmtKind::assign && p->slot == rslot)
+                p->value = coerce(std::move(p->value),
+                                  callee->returnType);
+        }
+        e = makeVarRef(rslot, callee->returnType);
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    void
+    analyzeBlockInPlace(std::vector<StmtPtr> &body)
+    {
+        // Flatten parser-generated splice blocks (foreach-result pairs)
+        // into this scope so the declared result stays visible.
+        std::vector<StmtPtr> flat;
+        for (auto &stmt : body) {
+            if (stmt->kind == StmtKind::block && stmt->name == "__splice") {
+                for (auto &inner : stmt->body)
+                    flat.push_back(std::move(inner));
+            } else {
+                flat.push_back(std::move(stmt));
+            }
+        }
+        body = std::move(flat);
+
+        std::vector<StmtPtr> out;
+        for (auto &stmt : body) {
+            pending_.clear();
+            analyzeStmt(stmt);
+            for (auto &p : pending_)
+                out.push_back(std::move(p));
+            pending_.clear();
+            if (stmt) // pragma statements get absorbed
+                out.push_back(std::move(stmt));
+        }
+        body = std::move(out);
+    }
+
+    void
+    analyzeStmt(StmtPtr &s)
+    {
+        switch (s->kind) {
+          case StmtKind::block:
+            pushScope();
+            analyzeBlockInPlace(s->body);
+            popScope();
+            return;
+          case StmtKind::varDecl: {
+            if (s->declType == Scalar::voidTy)
+                fail(*s, "cannot declare void variable");
+            if (s->value && s->value->kind == ExprKind::forkExpr) {
+                // `int i = fork(n);`
+                analyzeExpr(s->value->a);
+                requireInteger(*s->value->a);
+                int slot_id = newSlot(s->name, s->declType);
+                bind(s->name, slot_id);
+                s->slot = slot_id;
+                s->value->type = s->declType;
+                s->kind = StmtKind::varDecl; // keep: interpreted as fork
+                return;
+            }
+            if (s->value) {
+                analyzeExpr(s->value);
+                requireInteger(*s->value);
+                s->value = coerce(std::move(s->value), s->declType);
+            }
+            int slot_id = newSlot(s->name, s->declType);
+            bind(s->name, slot_id);
+            s->slot = slot_id;
+            return;
+          }
+          case StmtKind::sramDecl: {
+            if (s->size <= 0)
+                fail(*s, "SRAM size must be positive");
+            int slot_id = newSlot(s->name, s->declType,
+                                  AdapterKind::sram, s->size);
+            bind(s->name, slot_id);
+            s->slot = slot_id;
+            return;
+          }
+          case StmtKind::adapterDecl: {
+            // Backing DRAM name travels in a "__dram:" pragma.
+            std::string dram_name;
+            for (const auto &p : s->pragmas) {
+                if (p.name.rfind("__dram:", 0) == 0)
+                    dram_name = p.name.substr(7);
+            }
+            int dram = prog_.dramId(dram_name);
+            if (dram < 0)
+                fail(*s, "unknown DRAM '" + dram_name + "'");
+            if (s->size <= 0)
+                fail(*s, "adapter size must be positive");
+            analyzeExpr(s->value);
+            requireInteger(*s->value);
+            s->value = coerce(std::move(s->value), Scalar::i32);
+            int slot_id = newSlot(s->name, prog_.drams[dram].elem,
+                                  s->adapter, s->size, dram);
+            bind(s->name, slot_id);
+            s->slot = slot_id;
+            s->dram = dram;
+            s->pragmas.clear();
+            return;
+          }
+          case StmtKind::assign: {
+            int slot_id = s->slot >= 0 ? s->slot : lookup(s->name);
+            if (slot_id < 0)
+                fail(*s, "undeclared identifier '" + s->name + "'");
+            const SlotInfo &info = slot(slot_id);
+            if (isIterator(info.adapter)) {
+                // `it++` / `it += k` desugars to an iterator advance.
+                convertIteratorAdvance(s, slot_id);
+                return;
+            }
+            if (info.adapter != AdapterKind::none)
+                fail(*s, "cannot assign to memory adapter '" + s->name +
+                             "'");
+            if (info.foreachDepth < foreach_depth_) {
+                fail(*s, "'" + s->name +
+                             "': parent-scope variables are read-only "
+                             "inside foreach (threads have a read-only "
+                             "view of their parent)");
+            }
+            analyzeExpr(s->value);
+            requireInteger(*s->value);
+            s->slot = slot_id;
+            s->value = coerce(std::move(s->value), info.type);
+            return;
+          }
+          case StmtKind::storeIndexed: {
+            int local = lookup(s->name);
+            int dram = prog_.dramId(s->name);
+            analyzeExpr(s->index);
+            requireInteger(*s->index);
+            analyzeExpr(s->value);
+            requireInteger(*s->value);
+            if (local >= 0) {
+                const SlotInfo &info = slot(local);
+                if (info.adapter == AdapterKind::none)
+                    fail(*s, "'" + s->name + "' is not indexable");
+                if (!adapterWrites(info.adapter))
+                    fail(*s, "adapter '" + s->name + "' (" +
+                                 toString(info.adapter) +
+                                 ") does not support writes");
+                if (isIterator(info.adapter))
+                    fail(*s, "write iterators use `*it = v;`");
+                s->slot = local;
+                s->value = coerce(std::move(s->value), info.type);
+                return;
+            }
+            if (dram >= 0) {
+                s->dram = dram;
+                s->value =
+                    coerce(std::move(s->value), prog_.drams[dram].elem);
+                return;
+            }
+            fail(*s, "undeclared memory '" + s->name + "'");
+          }
+          case StmtKind::storeDeref: {
+            int local = lookup(s->name);
+            if (local < 0)
+                fail(*s, "undeclared iterator '" + s->name + "'");
+            const SlotInfo &info = slot(local);
+            if (info.adapter != AdapterKind::writeIt &&
+                info.adapter != AdapterKind::manualWriteIt) {
+                fail(*s, "'" + s->name + "' is not a write iterator");
+            }
+            analyzeExpr(s->value);
+            requireInteger(*s->value);
+            s->slot = local;
+            s->value = coerce(std::move(s->value), info.type);
+            return;
+          }
+          case StmtKind::itAdvance:
+            return; // produced internally, already analyzed
+          case StmtKind::exprStmt:
+            analyzeExpr(s->value);
+            if (s->value->kind != ExprKind::atomicRmw) {
+                fail(*s, "only atomic builtins may be used as bare "
+                         "statements");
+            }
+            return;
+          case StmtKind::ifStmt: {
+            analyzeExpr(s->value);
+            requireInteger(*s->value);
+            pushScope();
+            analyzeBlockInPlace(s->body);
+            popScope();
+            pushScope();
+            analyzeBlockInPlace(s->other);
+            popScope();
+            return;
+          }
+          case StmtKind::whileStmt: {
+            bool saved = allow_pending_;
+            allow_pending_ = false;
+            analyzeExpr(s->value);
+            allow_pending_ = saved;
+            requireInteger(*s->value);
+            pushScope();
+            analyzeBlockInPlace(s->body);
+            popScope();
+            return;
+          }
+          case StmtKind::foreachStmt:
+            analyzeForeach(s);
+            return;
+          case StmtKind::replicateStmt: {
+            if (s->replicas <= 0)
+                fail(*s, "replicate factor must be positive");
+            pushScope();
+            analyzeBlockInPlace(s->body);
+            popScope();
+            return;
+          }
+          case StmtKind::returnStmt: {
+            if (s->value) {
+                analyzeExpr(s->value);
+                requireInteger(*s->value);
+            }
+            return;
+          }
+          case StmtKind::exitStmt:
+            return;
+          case StmtKind::flushStmt: {
+            int local = lookup(s->name);
+            if (local < 0)
+                fail(*s, "undeclared iterator '" + s->name + "'");
+            if (slot(local).adapter != AdapterKind::manualWriteIt)
+                fail(*s, "flush() applies to ManualWriteIt only");
+            s->slot = local;
+            return;
+          }
+          case StmtKind::pragmaStmt:
+            fail(*s, "pragma outside a foreach body");
+        }
+    }
+
+    void
+    convertIteratorAdvance(StmtPtr &s, int slot_id)
+    {
+        const SlotInfo &info = slot(slot_id);
+        requireIteratorOwner(*s->value, info);
+        // Expect value = (it + k); anything else is unsupported.
+        Expr *v = s->value.get();
+        if (v->kind != ExprKind::binary || v->bop != BinOp::add ||
+            v->a->kind != ExprKind::varRef || v->a->name != s->name) {
+            fail(*s, "iterators support only `it++` and `it += k`");
+        }
+        ExprPtr amount = std::move(v->b);
+        analyzeExpr(amount);
+        requireInteger(*amount);
+        auto adv = std::make_unique<Stmt>();
+        adv->kind = StmtKind::itAdvance;
+        adv->line = s->line;
+        adv->col = s->col;
+        adv->slot = slot_id;
+        adv->name = s->name;
+        adv->index = coerce(std::move(amount), Scalar::i32);
+        s = std::move(adv);
+    }
+
+    void
+    requireIteratorOwner(const Stmt &s, const SlotInfo &info)
+    {
+        if (info.foreachDepth != foreach_depth_) {
+            throw CompileError("iterator '" + info.name +
+                                   "' cannot cross a foreach boundary",
+                               s.line, s.col);
+        }
+    }
+
+    void
+    analyzeForeach(StmtPtr &s)
+    {
+        analyzeExpr(s->value);
+        requireInteger(*s->value);
+        s->value = coerce(std::move(s->value), Scalar::i32);
+        if (s->extra) {
+            analyzeExpr(s->extra);
+            requireInteger(*s->extra);
+            s->extra = coerce(std::move(s->extra), Scalar::i32);
+        }
+
+        // Reduction result binding (desugared `int x = foreach...`).
+        std::vector<Pragma> kept;
+        for (auto &p : s->pragmas) {
+            if (p.name.rfind("__result:", 0) == 0) {
+                std::string result_name = p.name.substr(9);
+                int rslot = lookup(result_name);
+                if (rslot < 0)
+                    fail(*s, "internal: missing result slot");
+                s->resultSlot = rslot;
+            } else {
+                kept.push_back(p);
+            }
+        }
+        s->pragmas = std::move(kept);
+
+        ++foreach_depth_;
+        pushScope();
+        int iv = newSlot(s->name, s->declType);
+        bind(s->name, iv);
+        s->ivSlot = iv;
+
+        // Absorb leading pragma statements into the foreach.
+        std::vector<StmtPtr> body;
+        for (auto &stmt : s->body) {
+            if (stmt->kind == StmtKind::pragmaStmt) {
+                for (const auto &p : stmt->pragmas)
+                    s->pragmas.push_back(p);
+                continue;
+            }
+            body.push_back(std::move(stmt));
+        }
+        s->body = std::move(body);
+        analyzeBlockInPlace(s->body);
+        popScope();
+        --foreach_depth_;
+
+        if (s->resultSlot >= 0) {
+            // Verify the body returns a value on every path is left to
+            // the interpreter/compiler (missing returns contribute 0).
+            Scalar rt = slot(s->resultSlot).type;
+            if (!isInteger(rt))
+                fail(*s, "foreach reduction target must be integer");
+        }
+    }
+
+    Program &prog_;
+    Function *fn_ = nullptr;
+    std::vector<Scope> scopes_;
+    std::map<std::string, const Function *> callees_;
+    std::set<std::string> inlining_;
+    std::vector<StmtPtr> pending_;
+    bool allow_pending_ = true;
+    int foreach_depth_ = 0;
+};
+
+} // namespace
+
+void
+analyze(Program &program)
+{
+    Sema sema(program);
+    sema.run();
+}
+
+} // namespace lang
+} // namespace revet

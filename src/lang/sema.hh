@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Semantic analysis for the Revet language.
+ *
+ * Responsibilities ("Parse & Convert Types" + "Canonicalize & Inline" of
+ * the Figure 8 pipeline):
+ *  - resolve names to function slots and DRAM globals;
+ *  - type-check, with C-like promotion to 32-bit lanes and inserted casts;
+ *  - inline user functions into main (callees must end in a single
+ *    trailing return; recursion is rejected);
+ *  - desugar: `it++` to iterator advances, min/max/abs builtins,
+ *    compound assignment, pragma attachment to the enclosing foreach;
+ *  - enforce the thread model: parent scalars are read-only inside
+ *    foreach; iterators stay in their owning thread; Table I adapter
+ *    read/write capabilities.
+ */
+
+#ifndef REVET_LANG_SEMA_HH
+#define REVET_LANG_SEMA_HH
+
+#include "lang/ast.hh"
+
+namespace revet
+{
+namespace lang
+{
+
+/**
+ * Analyze @p program in place. After success, only `main` remains in
+ * program.functions, every Expr/Stmt has resolved slots/drams and types,
+ * and no call/pragmaStmt nodes remain.
+ *
+ * @throws CompileError on any semantic violation.
+ */
+void analyze(Program &program);
+
+} // namespace lang
+} // namespace revet
+
+#endif // REVET_LANG_SEMA_HH

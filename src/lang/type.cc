@@ -1,0 +1,176 @@
+#include "lang/type.hh"
+
+namespace revet
+{
+namespace lang
+{
+
+int
+bitWidth(Scalar type)
+{
+    switch (type) {
+      case Scalar::boolTy:
+        return 1;
+      case Scalar::i8:
+      case Scalar::u8:
+        return 8;
+      case Scalar::i16:
+      case Scalar::u16:
+        return 16;
+      case Scalar::i32:
+      case Scalar::u32:
+        return 32;
+      default:
+        return 0;
+    }
+}
+
+bool
+isSigned(Scalar type)
+{
+    switch (type) {
+      case Scalar::i8:
+      case Scalar::i16:
+      case Scalar::i32:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isInteger(Scalar type)
+{
+    return type != Scalar::invalid && type != Scalar::voidTy;
+}
+
+std::string
+toString(Scalar type)
+{
+    switch (type) {
+      case Scalar::invalid:
+        return "<invalid>";
+      case Scalar::voidTy:
+        return "void";
+      case Scalar::boolTy:
+        return "bool";
+      case Scalar::i8:
+        return "char";
+      case Scalar::u8:
+        return "uchar";
+      case Scalar::i16:
+        return "short";
+      case Scalar::u16:
+        return "ushort";
+      case Scalar::i32:
+        return "int";
+      case Scalar::u32:
+        return "uint";
+    }
+    return "<bad>";
+}
+
+int
+dramElemBytes(Scalar type)
+{
+    int bits = bitWidth(type);
+    if (bits <= 8)
+        return 1;
+    if (bits <= 16)
+        return 2;
+    return 4;
+}
+
+uint32_t
+normalize(Scalar type, uint32_t lane)
+{
+    switch (type) {
+      case Scalar::boolTy:
+        return lane & 1u;
+      case Scalar::i8:
+        return static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(lane & 0xffu)));
+      case Scalar::u8:
+        return lane & 0xffu;
+      case Scalar::i16:
+        return static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(lane & 0xffffu)));
+      case Scalar::u16:
+        return lane & 0xffffu;
+      default:
+        return lane;
+    }
+}
+
+std::string
+toString(AdapterKind kind)
+{
+    switch (kind) {
+      case AdapterKind::none:
+        return "scalar";
+      case AdapterKind::sram:
+        return "SRAM";
+      case AdapterKind::readView:
+        return "ReadView";
+      case AdapterKind::writeView:
+        return "WriteView";
+      case AdapterKind::modifyView:
+        return "ModifyView";
+      case AdapterKind::readIt:
+        return "ReadIt";
+      case AdapterKind::peekReadIt:
+        return "PeekReadIt";
+      case AdapterKind::writeIt:
+        return "WriteIt";
+      case AdapterKind::manualWriteIt:
+        return "ManualWriteIt";
+    }
+    return "<bad>";
+}
+
+bool
+isView(AdapterKind kind)
+{
+    return kind == AdapterKind::readView || kind == AdapterKind::writeView ||
+        kind == AdapterKind::modifyView;
+}
+
+bool
+isIterator(AdapterKind kind)
+{
+    return kind == AdapterKind::readIt || kind == AdapterKind::peekReadIt ||
+        kind == AdapterKind::writeIt || kind == AdapterKind::manualWriteIt;
+}
+
+bool
+adapterReads(AdapterKind kind)
+{
+    switch (kind) {
+      case AdapterKind::sram:
+      case AdapterKind::readView:
+      case AdapterKind::modifyView:
+      case AdapterKind::readIt:
+      case AdapterKind::peekReadIt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+adapterWrites(AdapterKind kind)
+{
+    switch (kind) {
+      case AdapterKind::sram:
+      case AdapterKind::writeView:
+      case AdapterKind::modifyView:
+      case AdapterKind::writeIt:
+      case AdapterKind::manualWriteIt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace lang
+} // namespace revet

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scalar and memory-adapter types of the Revet language (Section IV,
+ * Table I).
+ *
+ * All scalar values occupy one 32-bit lane on chip; i8/i16 (and their
+ * unsigned variants) exist so the sub-word packing pass (Section V-B(d))
+ * can pack them into shared lanes across merges.
+ */
+
+#ifndef REVET_LANG_TYPE_HH
+#define REVET_LANG_TYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace revet
+{
+namespace lang
+{
+
+/** Scalar types. */
+enum class Scalar
+{
+    invalid,
+    voidTy,
+    boolTy,
+    i8,
+    u8,
+    i16,
+    u16,
+    i32,
+    u32,
+};
+
+/** Width in bits of a scalar type's value range. */
+int bitWidth(Scalar type);
+
+/** True for signed integer types (bool counts as unsigned). */
+bool isSigned(Scalar type);
+
+/** True for any integer-like type (everything except void/invalid). */
+bool isInteger(Scalar type);
+
+std::string toString(Scalar type);
+
+/** Size of one element in DRAM, in bytes. */
+int dramElemBytes(Scalar type);
+
+/**
+ * Normalize a 32-bit lane value to a scalar type's range (sign-extend or
+ * mask). Lanes always carry 32 bits; narrow types wrap on store.
+ */
+uint32_t normalize(Scalar type, uint32_t lane);
+
+/** Memory-adapter kinds of Table I. */
+enum class AdapterKind
+{
+    none,        ///< plain scalar variable
+    sram,        ///< SRAM<type, size>: read/write, array-decay
+    readView,    ///< ReadView<size>: auto-fetched tile
+    writeView,   ///< WriteView<size>: auto-stored tile
+    modifyView,  ///< ModifyView<size>: fetched and stored
+    readIt,      ///< ReadIt<tile>: linear read iterator
+    peekReadIt,  ///< PeekReadIt<tile>: linear read + peek ahead
+    writeIt,     ///< WriteIt<tile>: linear write iterator
+    manualWriteIt, ///< ManualWriteIt<tile>: write + manual flush
+};
+
+std::string toString(AdapterKind kind);
+
+/** True for the view adapters (tile-granularity transfers). */
+bool isView(AdapterKind kind);
+
+/** True for the iterator adapters (demand-fetched small blocks). */
+bool isIterator(AdapterKind kind);
+
+/** True if the adapter supports reads (Table I columns). */
+bool adapterReads(AdapterKind kind);
+
+/** True if the adapter supports writes (Table I columns). */
+bool adapterWrites(AdapterKind kind);
+
+} // namespace lang
+} // namespace revet
+
+#endif // REVET_LANG_TYPE_HH

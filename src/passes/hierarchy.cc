@@ -1,0 +1,264 @@
+#include "passes/passes.hh"
+
+#include "lang/lex.hh"
+
+namespace revet
+{
+namespace passes
+{
+
+using namespace lang;
+
+namespace
+{
+
+/**
+ * Figure 9: rewrite a pragma-annotated foreach into a hierarchy-less
+ * fork. A control cell in SRAM holds the outstanding-thread count (and
+ * the reduction accumulator); every thread atomically decrements it when
+ * done, and only the last thread survives to continue as the parent.
+ * This removes the SLTF barrier that would otherwise force a total flush
+ * of enclosing while loops between parents.
+ */
+class HierarchyElimination
+{
+  public:
+    explicit HierarchyElimination(Function &fn) : fn_(fn) {}
+
+    void run() { rewriteList(fn_.bodyStmt->body); }
+
+  private:
+    int
+    newScalar(const std::string &name, Scalar type)
+    {
+        SlotInfo info;
+        info.name = name;
+        info.type = type;
+        return fn_.addSlot(std::move(info));
+    }
+
+    ExprPtr
+    var(int slot)
+    {
+        return makeVarRef(slot, fn_.slots[slot].type);
+    }
+
+    ExprPtr
+    bin(BinOp op, ExprPtr a, ExprPtr b, Scalar t = Scalar::i32)
+    {
+        return makeBinary(op, std::move(a), std::move(b), t);
+    }
+
+    void
+    rewriteList(std::vector<StmtPtr> &body)
+    {
+        std::vector<StmtPtr> out;
+        for (auto &stmt : body) {
+            rewriteList(stmt->body);
+            rewriteList(stmt->other);
+            if (stmt->kind == StmtKind::foreachStmt && hasPragma(*stmt)) {
+                rewriteForeach(stmt, out);
+            } else {
+                out.push_back(std::move(stmt));
+            }
+        }
+        body = std::move(out);
+    }
+
+    static bool
+    hasPragma(const Stmt &s)
+    {
+        for (const auto &p : s.pragmas) {
+            if (p.name == "eliminate_hierarchy")
+                return true;
+        }
+        return false;
+    }
+
+    void
+    checkBody(const Stmt &fe)
+    {
+        // Restrictions (checked, not silently miscompiled): the body may
+        // not fork or exit (the completion count would be wrong), and a
+        // reduction return must be the trailing statement.
+        for (size_t i = 0; i < fe.body.size(); ++i) {
+            const Stmt &s = *fe.body[i];
+            bool last = i + 1 == fe.body.size();
+            if (containsKind(s, {StmtKind::exitStmt}))
+                throw CompileError(
+                    "eliminate_hierarchy: exit() inside the body would "
+                    "desynchronize the completion count",
+                    s.line, s.col);
+            if (anyExpr(s, [](const Expr &e) {
+                    return e.kind == ExprKind::forkExpr;
+                })) {
+                throw CompileError(
+                    "eliminate_hierarchy: fork inside the body is not "
+                    "supported",
+                    s.line, s.col);
+            }
+            bool has_return = containsKind(s, {StmtKind::returnStmt});
+            if (has_return &&
+                !(last && s.kind == StmtKind::returnStmt)) {
+                throw CompileError(
+                    "eliminate_hierarchy: return must be the trailing "
+                    "statement of the body",
+                    s.line, s.col);
+            }
+        }
+    }
+
+    void
+    rewriteForeach(StmtPtr &fe, std::vector<StmtPtr> &out)
+    {
+        checkBody(*fe);
+        const std::string nm = "__flat" + std::to_string(counter_++);
+
+        // SRAM<int,2> ctl;  ctl[0] = nthreads; ctl[1] = 0;
+        int ctl = fn_.addSlot([&] {
+            SlotInfo info;
+            info.name = nm + "_ctl";
+            info.type = Scalar::i32;
+            info.adapter = AdapterKind::sram;
+            info.size = 2;
+            return info;
+        }());
+        auto ctl_decl = std::make_unique<Stmt>();
+        ctl_decl->kind = StmtKind::sramDecl;
+        ctl_decl->slot = ctl;
+        ctl_decl->declType = Scalar::i32;
+        ctl_decl->size = 2;
+        out.push_back(std::move(ctl_decl));
+
+        // n = ceil(count / step)
+        int n = newScalar(nm + "_n", Scalar::i32);
+        ExprPtr nthreads;
+        ExprPtr step_expr = fe->extra ? fe->extra->clone()
+                                      : makeIntConst(1, Scalar::i32);
+        nthreads = bin(
+            BinOp::div,
+            bin(BinOp::sub, bin(BinOp::add, fe->value->clone(),
+                                step_expr->clone()),
+                makeIntConst(1, Scalar::i32)),
+            step_expr->clone());
+        auto n_decl = std::make_unique<Stmt>();
+        n_decl->kind = StmtKind::varDecl;
+        n_decl->slot = n;
+        n_decl->declType = Scalar::i32;
+        n_decl->value = std::move(nthreads);
+        out.push_back(std::move(n_decl));
+
+        auto store_cell = [&](int idx, ExprPtr v) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::storeIndexed;
+            s->slot = ctl;
+            s->index = makeIntConst(idx, Scalar::i32);
+            s->value = std::move(v);
+            return s;
+        };
+        out.push_back(store_cell(0, var(n)));
+        out.push_back(store_cell(1, makeIntConst(0, Scalar::i32)));
+
+        // if (n > 0) { fork; body; last-thread check }
+        auto guard_if = std::make_unique<Stmt>();
+        guard_if->kind = StmtKind::ifStmt;
+        guard_if->value =
+            bin(BinOp::gt, var(n), makeIntConst(0, Scalar::i32),
+                Scalar::boolTy);
+
+        // int k = fork(n); iv = k * step;
+        int k = newScalar(nm + "_k", Scalar::i32);
+        auto fork_decl = std::make_unique<Stmt>();
+        fork_decl->kind = StmtKind::varDecl;
+        fork_decl->slot = k;
+        fork_decl->declType = Scalar::i32;
+        fork_decl->value = [&] {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::forkExpr;
+            e->type = Scalar::i32;
+            e->a = var(n);
+            return e;
+        }();
+        guard_if->body.push_back(std::move(fork_decl));
+        guard_if->body.push_back(makeAssign(
+            fe->ivSlot, bin(BinOp::mul, var(k), std::move(step_expr))));
+
+        // Body, with a trailing `return e` rewritten to an atomic
+        // accumulate into ctl[1].
+        for (auto &stmt : fe->body) {
+            if (stmt->kind == StmtKind::returnStmt && stmt->value) {
+                auto rmw = std::make_unique<Expr>();
+                rmw->kind = ExprKind::atomicRmw;
+                rmw->bop = BinOp::add;
+                rmw->slot = ctl;
+                rmw->a = makeIntConst(1, Scalar::i32);
+                rmw->b = std::move(stmt->value);
+                rmw->type = Scalar::i32;
+                auto acc = std::make_unique<Stmt>();
+                acc->kind = StmtKind::exprStmt;
+                acc->value = std::move(rmw);
+                guard_if->body.push_back(std::move(acc));
+            } else {
+                guard_if->body.push_back(std::move(stmt));
+            }
+        }
+
+        // int rem = fetch_sub(ctl, 0, 1); if (rem != 1) exit();
+        int rem = newScalar(nm + "_rem", Scalar::i32);
+        auto dec = std::make_unique<Stmt>();
+        dec->kind = StmtKind::varDecl;
+        dec->slot = rem;
+        dec->declType = Scalar::i32;
+        dec->value = [&] {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::atomicRmw;
+            e->bop = BinOp::sub;
+            e->slot = ctl;
+            e->a = makeIntConst(0, Scalar::i32);
+            e->b = makeIntConst(1, Scalar::i32);
+            e->type = Scalar::i32;
+            return e;
+        }();
+        guard_if->body.push_back(std::move(dec));
+
+        auto last_check = std::make_unique<Stmt>();
+        last_check->kind = StmtKind::ifStmt;
+        last_check->value = bin(BinOp::ne, var(rem),
+                                makeIntConst(1, Scalar::i32),
+                                Scalar::boolTy);
+        auto exit_stmt = std::make_unique<Stmt>();
+        exit_stmt->kind = StmtKind::exitStmt;
+        last_check->body.push_back(std::move(exit_stmt));
+        guard_if->body.push_back(std::move(last_check));
+
+        out.push_back(std::move(guard_if));
+
+        // result = ctl[1]
+        if (fe->resultSlot >= 0) {
+            auto read = std::make_unique<Expr>();
+            read->kind = ExprKind::indexRead;
+            read->slot = ctl;
+            read->a = makeIntConst(1, Scalar::i32);
+            read->type = Scalar::i32;
+            out.push_back(makeAssign(fe->resultSlot, std::move(read)));
+        }
+        fe.reset();
+    }
+
+    Function &fn_;
+    int counter_ = 0;
+};
+
+} // namespace
+
+void
+eliminateHierarchy(Program &program)
+{
+    for (auto &fn : program.functions) {
+        HierarchyElimination pass(*fn);
+        pass.run();
+    }
+}
+
+} // namespace passes
+} // namespace revet

@@ -1,0 +1,537 @@
+#include "passes/passes.hh"
+
+#include <map>
+
+#include "lang/lex.hh"
+
+namespace revet
+{
+namespace passes
+{
+
+using namespace lang;
+
+namespace
+{
+
+/**
+ * Rewrites Table I memory adapters into SRAM buffers, scalar pointers,
+ * and explicit control flow. Read iterators become the paper's demand
+ * path: `if (tile changed) { foreach bulk-load } ; read SRAM` (Figure 5
+ * bottom); views become tile buffers with bulk-load foreach loops
+ * ("Lower Bulk Accesses"); write iterators become direct/buffered DRAM
+ * stores. After this pass no adapterDecl / derefIt / peekIt /
+ * storeDeref / flushStmt nodes remain.
+ */
+class AdapterLowering
+{
+  public:
+    AdapterLowering(Program &prog, Function &fn) : prog_(prog), fn_(fn) {}
+
+    void run() { rewriteList(fn_.bodyStmt->body); }
+
+  private:
+    struct Low
+    {
+        AdapterKind kind;
+        Scalar elem;
+        int dram;
+        int64_t tile;
+        int pos = -1;      ///< element position (iterators)
+        int fetched = -1;  ///< fetched tile index (read iterators)
+        int buf = -1;      ///< SRAM buffer slot
+        int base = -1;     ///< view base (views) / buffer start (manual)
+    };
+
+    // ---- expression builders -------------------------------------------
+
+    ExprPtr
+    cInt(int64_t v)
+    {
+        return makeIntConst(v, Scalar::i32);
+    }
+
+    ExprPtr
+    var(int slot)
+    {
+        return makeVarRef(slot, fn_.slots[slot].type);
+    }
+
+    ExprPtr
+    bin(BinOp op, ExprPtr a, ExprPtr b)
+    {
+        Scalar t = (op == BinOp::eq || op == BinOp::ne || op == BinOp::lt ||
+                    op == BinOp::le || op == BinOp::gt || op == BinOp::ge)
+                       ? Scalar::boolTy
+                       : Scalar::i32;
+        return makeBinary(op, std::move(a), std::move(b), t);
+    }
+
+    ExprPtr
+    sramRead(int buf_slot, ExprPtr idx)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::indexRead;
+        e->slot = buf_slot;
+        e->a = std::move(idx);
+        e->type = fn_.slots[buf_slot].type;
+        return e;
+    }
+
+    ExprPtr
+    dramRead(int dram, ExprPtr idx)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::indexRead;
+        e->dram = dram;
+        e->a = std::move(idx);
+        e->type = prog_.drams[dram].elem;
+        return e;
+    }
+
+    // ---- statement builders ----------------------------------------------
+
+    int
+    newScalar(const std::string &name, Scalar type)
+    {
+        SlotInfo info;
+        info.name = name;
+        info.type = type;
+        return fn_.addSlot(std::move(info));
+    }
+
+    int
+    newSram(const std::string &name, Scalar elem, int64_t size)
+    {
+        SlotInfo info;
+        info.name = name;
+        info.type = elem;
+        info.adapter = AdapterKind::sram;
+        info.size = size;
+        return fn_.addSlot(std::move(info));
+    }
+
+    StmtPtr
+    declStmt(int slot, ExprPtr init)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::varDecl;
+        s->slot = slot;
+        s->declType = fn_.slots[slot].type;
+        s->name = fn_.slots[slot].name;
+        s->value = std::move(init);
+        return s;
+    }
+
+    StmtPtr
+    sramDeclStmt(int slot)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::sramDecl;
+        s->slot = slot;
+        s->declType = fn_.slots[slot].type;
+        s->name = fn_.slots[slot].name;
+        s->size = fn_.slots[slot].size;
+        return s;
+    }
+
+    StmtPtr
+    storeSram(int buf_slot, ExprPtr idx, ExprPtr val)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::storeIndexed;
+        s->slot = buf_slot;
+        s->index = std::move(idx);
+        s->value = std::move(val);
+        return s;
+    }
+
+    StmtPtr
+    storeDram(int dram, ExprPtr idx, ExprPtr val)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::storeIndexed;
+        s->dram = dram;
+        s->index = std::move(idx);
+        s->value = std::move(val);
+        return s;
+    }
+
+    /** foreach (count) { iv => body } at the current point. */
+    StmtPtr
+    bulkLoop(ExprPtr count, int iv_slot, std::vector<StmtPtr> body)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::foreachStmt;
+        s->value = std::move(count);
+        s->ivSlot = iv_slot;
+        s->declType = Scalar::i32;
+        s->name = fn_.slots[iv_slot].name;
+        s->body = std::move(body);
+        s->pragmas.push_back({"bulk_access", 0});
+        return s;
+    }
+
+    /** foreach (n) { k => buf[k] = dram[start + k]; } */
+    StmtPtr
+    bulkLoad(const Low &low, ExprPtr start, ExprPtr count)
+    {
+        int iv = newScalar("__blk", Scalar::i32);
+        std::vector<StmtPtr> body;
+        body.push_back(storeSram(
+            low.buf, var(iv),
+            dramRead(low.dram, bin(BinOp::add, std::move(start), var(iv)))));
+        return bulkLoop(std::move(count), iv, std::move(body));
+    }
+
+    /** foreach (n) { k => dram[start + k] = buf[k]; } */
+    StmtPtr
+    bulkStore(const Low &low, ExprPtr start, ExprPtr count)
+    {
+        int iv = newScalar("__blk", Scalar::i32);
+        std::vector<StmtPtr> body;
+        body.push_back(storeDram(
+            low.dram, bin(BinOp::add, std::move(start), var(iv)),
+            sramRead(low.buf, var(iv))));
+        return bulkLoop(std::move(count), iv, std::move(body));
+    }
+
+    // ---- the rewrite ------------------------------------------------------
+
+    void
+    rewriteList(std::vector<StmtPtr> &body)
+    {
+        std::vector<StmtPtr> out;
+        for (auto &stmt : body) {
+            pending_.clear();
+            rewriteStmt(stmt);
+            for (auto &p : pending_)
+                out.push_back(std::move(p));
+            pending_.clear();
+            if (stmt)
+                out.push_back(std::move(stmt));
+        }
+        body = std::move(out);
+    }
+
+    void
+    rewriteStmt(StmtPtr &s)
+    {
+        switch (s->kind) {
+          case StmtKind::adapterDecl:
+            lowerDecl(s);
+            return;
+          case StmtKind::storeDeref:
+            lowerStoreDeref(s);
+            return;
+          case StmtKind::itAdvance:
+            lowerAdvance(s);
+            return;
+          case StmtKind::flushStmt:
+            lowerFlush(s);
+            return;
+          case StmtKind::storeIndexed:
+            rewriteExprs(*s);
+            lowerViewStore(s);
+            return;
+          case StmtKind::whileStmt:
+            lowerWhile(s);
+            return;
+          case StmtKind::block:
+          case StmtKind::ifStmt:
+          case StmtKind::foreachStmt:
+          case StmtKind::replicateStmt:
+            rewriteExprs(*s);
+            rewriteList(s->body);
+            rewriteList(s->other);
+            return;
+          default:
+            rewriteExprs(*s);
+            return;
+        }
+    }
+
+    /** Rewrite the direct expressions of @p s (not its nested bodies). */
+    void
+    rewriteExprs(Stmt &s)
+    {
+        for (ExprPtr *e : {&s.value, &s.index, &s.extra, &s.guard}) {
+            if (*e)
+                rewriteExpr(*e);
+        }
+    }
+
+    void
+    rewriteExpr(ExprPtr &e)
+    {
+        if (e->a)
+            rewriteExpr(e->a);
+        if (e->b)
+            rewriteExpr(e->b);
+        if (e->c)
+            rewriteExpr(e->c);
+        for (auto &arg : e->args)
+            rewriteExpr(arg);
+
+        switch (e->kind) {
+          case ExprKind::indexRead: {
+            auto it = lowered_.find(e->slot);
+            if (it == lowered_.end())
+                return;
+            const Low &low = it->second;
+            // View reads hit the tile buffer.
+            ExprPtr idx = std::move(e->a);
+            e = sramRead(low.buf, std::move(idx));
+            return;
+          }
+          case ExprKind::derefIt: {
+            const Low &low = lowered_.at(e->slot);
+            e = demandRead(low, cInt(0));
+            return;
+          }
+          case ExprKind::peekIt: {
+            const Low &low = lowered_.at(e->slot);
+            ExprPtr k = std::move(e->a);
+            e = demandRead(low, std::move(k));
+            return;
+          }
+          default:
+            return;
+        }
+    }
+
+    /**
+     * Demand-fetched read at pos+k: emits the paper's hit/miss path
+     * (Figure 5) into pending_ and returns the SRAM read expression.
+     */
+    ExprPtr
+    demandRead(const Low &low, ExprPtr k)
+    {
+        int64_t window =
+            low.kind == AdapterKind::peekReadIt ? 2 * low.tile : low.tile;
+        // tbase = pos / tile
+        int tbase = newScalar("__tile", Scalar::i32);
+        pending_.push_back(
+            declStmt(tbase, bin(BinOp::div, var(low.pos), cInt(low.tile))));
+        // if (tbase != fetched) { bulk load; fetched = tbase; }
+        auto fetch = std::make_unique<Stmt>();
+        fetch->kind = StmtKind::ifStmt;
+        fetch->value = bin(BinOp::ne, var(tbase), var(low.fetched));
+        fetch->body.push_back(bulkLoad(
+            low, bin(BinOp::mul, var(tbase), cInt(low.tile)),
+            cInt(window)));
+        fetch->body.push_back(makeAssign(low.fetched, var(tbase)));
+        pending_.push_back(std::move(fetch));
+        // buf[pos + k - tbase*tile]
+        ExprPtr off = bin(
+            BinOp::sub, bin(BinOp::add, var(low.pos), std::move(k)),
+            bin(BinOp::mul, var(tbase), cInt(low.tile)));
+        int tmp = newScalar("__elem", fn_.slots[low.buf].type);
+        pending_.push_back(declStmt(tmp, sramRead(low.buf, std::move(off))));
+        return var(tmp);
+    }
+
+    void
+    lowerDecl(StmtPtr &s)
+    {
+        Low low;
+        low.kind = s->adapter;
+        low.elem = fn_.slots[s->slot].type;
+        low.dram = s->dram;
+        low.tile = s->size;
+        rewriteExpr(s->value); // the base/seek argument
+        const std::string &nm = s->name;
+
+        switch (low.kind) {
+          case AdapterKind::readView:
+          case AdapterKind::modifyView: {
+            low.base = newScalar(nm + "__base", Scalar::i32);
+            low.buf = newSram(nm + "__buf", low.elem, low.tile);
+            pending_.push_back(declStmt(low.base, std::move(s->value)));
+            pending_.push_back(sramDeclStmt(low.buf));
+            pending_.push_back(
+                bulkLoad(low, var(low.base), cInt(low.tile)));
+            break;
+          }
+          case AdapterKind::writeView: {
+            low.base = newScalar(nm + "__base", Scalar::i32);
+            pending_.push_back(declStmt(low.base, std::move(s->value)));
+            break;
+          }
+          case AdapterKind::readIt:
+          case AdapterKind::peekReadIt: {
+            int64_t window = low.kind == AdapterKind::peekReadIt
+                                 ? 2 * low.tile
+                                 : low.tile;
+            low.pos = newScalar(nm + "__pos", Scalar::i32);
+            low.fetched = newScalar(nm + "__tile", Scalar::i32);
+            low.buf = newSram(nm + "__buf", low.elem, window);
+            pending_.push_back(declStmt(low.pos, std::move(s->value)));
+            pending_.push_back(declStmt(low.fetched, cInt(-1)));
+            pending_.push_back(sramDeclStmt(low.buf));
+            break;
+          }
+          case AdapterKind::writeIt: {
+            low.pos = newScalar(nm + "__pos", Scalar::i32);
+            pending_.push_back(declStmt(low.pos, std::move(s->value)));
+            break;
+          }
+          case AdapterKind::manualWriteIt: {
+            low.pos = newScalar(nm + "__pos", Scalar::i32);
+            low.base = newScalar(nm + "__start", Scalar::i32);
+            low.buf = newSram(nm + "__buf", low.elem, low.tile);
+            pending_.push_back(declStmt(low.pos, s->value->clone()));
+            pending_.push_back(declStmt(low.base, std::move(s->value)));
+            pending_.push_back(sramDeclStmt(low.buf));
+            break;
+          }
+          default:
+            throw CompileError("unexpected adapter kind", s->line, s->col);
+        }
+        lowered_[s->slot] = low;
+        s.reset(); // the declaration itself disappears
+    }
+
+    void
+    lowerViewStore(StmtPtr &s)
+    {
+        auto it = lowered_.find(s->slot);
+        if (s->dram >= 0 || it == lowered_.end())
+            return; // plain SRAM or direct DRAM store
+        const Low &low = it->second;
+        if (low.kind == AdapterKind::writeView) {
+            s->dram = low.dram;
+            s->slot = -1;
+            s->index = bin(BinOp::add, var(low.base), std::move(s->index));
+            return;
+        }
+        if (low.kind == AdapterKind::modifyView) {
+            // Write-through: update the tile buffer and DRAM.
+            auto dstore = storeDram(
+                low.dram, bin(BinOp::add, var(low.base), s->index->clone()),
+                s->value->clone());
+            if (s->guard)
+                dstore->guard = s->guard->clone();
+            s->slot = low.buf;
+            pending_.push_back(std::move(dstore));
+            return;
+        }
+        throw CompileError("store through non-writable view", s->line,
+                           s->col);
+    }
+
+    void
+    lowerStoreDeref(StmtPtr &s)
+    {
+        const Low &low = lowered_.at(s->slot);
+        rewriteExprs(*s);
+        if (low.kind == AdapterKind::writeIt) {
+            auto repl = storeDram(low.dram, var(low.pos),
+                                  std::move(s->value));
+            repl->guard = std::move(s->guard);
+            s = std::move(repl);
+            return;
+        }
+        // ManualWriteIt: buffer the element.
+        auto repl = storeSram(
+            low.buf, bin(BinOp::sub, var(low.pos), var(low.base)),
+            std::move(s->value));
+        repl->guard = std::move(s->guard);
+        s = std::move(repl);
+    }
+
+    void
+    lowerAdvance(StmtPtr &s)
+    {
+        const Low &low = lowered_.at(s->slot);
+        rewriteExprs(*s);
+        auto adv = makeAssign(
+            low.pos, bin(BinOp::add, var(low.pos), std::move(s->index)));
+        if (low.kind != AdapterKind::manualWriteIt) {
+            s = std::move(adv);
+            return;
+        }
+        // ManualWriteIt: flush the full tile when the buffer wraps.
+        pending_.push_back(std::move(adv));
+        auto wrap = std::make_unique<Stmt>();
+        wrap->kind = StmtKind::ifStmt;
+        wrap->value =
+            bin(BinOp::ge, bin(BinOp::sub, var(low.pos), var(low.base)),
+                cInt(low.tile));
+        wrap->body.push_back(
+            bulkStore(low, var(low.base), cInt(low.tile)));
+        wrap->body.push_back(makeAssign(low.base, var(low.pos)));
+        s = std::move(wrap);
+    }
+
+    void
+    lowerFlush(StmtPtr &s)
+    {
+        const Low &low = lowered_.at(s->slot);
+        // pend = pos - start; bulk store pend; start = pos.
+        int pend = newScalar("__pend", Scalar::i32);
+        pending_.push_back(declStmt(
+            pend, bin(BinOp::sub, var(low.pos), var(low.base))));
+        pending_.push_back(bulkStore(low, var(low.base), var(pend)));
+        s = makeAssign(low.base, var(low.pos));
+    }
+
+    void
+    lowerWhile(StmtPtr &s)
+    {
+        // Rewrite the condition; if it needs demand-fetch statements,
+        // hoist them before the loop and re-emit them (plus a condition
+        // recompute) at the end of the body.
+        ExprPtr cond_copy = s->value->clone();
+        std::vector<StmtPtr> saved_pending = std::move(pending_);
+        pending_.clear();
+        rewriteExpr(s->value);
+        std::vector<StmtPtr> cond_stmts = std::move(pending_);
+        pending_ = std::move(saved_pending);
+
+        rewriteList(s->body);
+
+        if (cond_stmts.empty())
+            return;
+
+        int c = newScalar("__while_c", Scalar::boolTy);
+        for (auto &p : cond_stmts)
+            pending_.push_back(std::move(p));
+        // Store the truth value, not the raw condition: narrow slots
+        // normalize on store and would mangle e.g. `while (*it)`.
+        pending_.push_back(declStmt(
+            c, bin(BinOp::ne, std::move(s->value), cInt(0))));
+
+        // Re-evaluate at the end of the body with fresh temporaries.
+        std::vector<StmtPtr> saved2 = std::move(pending_);
+        pending_.clear();
+        rewriteExpr(cond_copy);
+        std::vector<StmtPtr> recompute = std::move(pending_);
+        pending_ = std::move(saved2);
+
+        for (auto &p : recompute)
+            s->body.push_back(std::move(p));
+        s->body.push_back(makeAssign(
+            c, bin(BinOp::ne, std::move(cond_copy), cInt(0))));
+        s->value = var(c);
+    }
+
+    Program &prog_;
+    Function &fn_;
+    std::map<int, Low> lowered_;
+    std::vector<StmtPtr> pending_;
+};
+
+} // namespace
+
+void
+lowerAdapters(Program &program)
+{
+    for (auto &fn : program.functions) {
+        AdapterLowering pass(program, *fn);
+        pass.run();
+    }
+}
+
+} // namespace passes
+} // namespace revet

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the passes subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace passes
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "passes";
+}
+
+} // namespace passes
+} // namespace revet

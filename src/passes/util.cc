@@ -1,0 +1,148 @@
+#include "passes/passes.hh"
+
+namespace revet
+{
+namespace passes
+{
+
+using namespace lang;
+
+void
+collectUses(const Expr &e, std::set<int> &uses)
+{
+    switch (e.kind) {
+      case ExprKind::varRef:
+      case ExprKind::derefIt:
+        if (e.slot >= 0)
+            uses.insert(e.slot);
+        break;
+      case ExprKind::indexRead:
+      case ExprKind::peekIt:
+      case ExprKind::atomicRmw:
+        if (e.slot >= 0)
+            uses.insert(e.slot);
+        break;
+      default:
+        break;
+    }
+    if (e.a)
+        collectUses(*e.a, uses);
+    if (e.b)
+        collectUses(*e.b, uses);
+    if (e.c)
+        collectUses(*e.c, uses);
+    for (const auto &arg : e.args)
+        collectUses(*arg, uses);
+}
+
+void
+collectUses(const Stmt &s, std::set<int> &uses)
+{
+    if (s.value)
+        collectUses(*s.value, uses);
+    if (s.index)
+        collectUses(*s.index, uses);
+    if (s.extra)
+        collectUses(*s.extra, uses);
+    if (s.guard)
+        collectUses(*s.guard, uses);
+    // Stores through adapters/iterators read the handle slot.
+    if ((s.kind == StmtKind::storeIndexed && s.slot >= 0) ||
+        s.kind == StmtKind::storeDeref || s.kind == StmtKind::itAdvance ||
+        s.kind == StmtKind::flushStmt) {
+        uses.insert(s.slot);
+    }
+    for (const auto &child : s.body)
+        collectUses(*child, uses);
+    for (const auto &child : s.other)
+        collectUses(*child, uses);
+}
+
+void
+collectDefs(const Stmt &s, std::set<int> &defs)
+{
+    switch (s.kind) {
+      case StmtKind::varDecl:
+      case StmtKind::sramDecl:
+      case StmtKind::adapterDecl:
+      case StmtKind::assign:
+        if (s.slot >= 0)
+            defs.insert(s.slot);
+        break;
+      case StmtKind::foreachStmt:
+        if (s.ivSlot >= 0)
+            defs.insert(s.ivSlot);
+        if (s.resultSlot >= 0)
+            defs.insert(s.resultSlot);
+        break;
+      default:
+        break;
+    }
+    for (const auto &child : s.body)
+        collectDefs(*child, defs);
+    for (const auto &child : s.other)
+        collectDefs(*child, defs);
+}
+
+bool
+containsKind(const Stmt &s, std::initializer_list<StmtKind> kinds)
+{
+    for (StmtKind k : kinds) {
+        if (s.kind == k)
+            return true;
+    }
+    for (const auto &child : s.body) {
+        if (containsKind(*child, kinds))
+            return true;
+    }
+    for (const auto &child : s.other) {
+        if (containsKind(*child, kinds))
+            return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+bool
+anyExprIn(const Expr &e, const std::function<bool(const Expr &)> &pred)
+{
+    if (pred(e))
+        return true;
+    if (e.a && anyExprIn(*e.a, pred))
+        return true;
+    if (e.b && anyExprIn(*e.b, pred))
+        return true;
+    if (e.c && anyExprIn(*e.c, pred))
+        return true;
+    for (const auto &arg : e.args) {
+        if (anyExprIn(*arg, pred))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+anyExpr(const Stmt &s, const std::function<bool(const Expr &)> &pred)
+{
+    for (const ExprPtr *slot :
+         {&s.value, &s.index, &s.extra, &s.guard}) {
+        if (*slot && anyExprIn(**slot, pred))
+            return true;
+    }
+    for (const auto &child : s.body) {
+        if (anyExpr(*child, pred))
+            return true;
+    }
+    for (const auto &child : s.other) {
+        if (anyExpr(*child, pred))
+            return true;
+    }
+    return false;
+}
+
+} // namespace passes
+} // namespace revet

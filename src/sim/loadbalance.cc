@@ -1,0 +1,83 @@
+#include "sim/loadbalance.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace revet
+{
+namespace sim
+{
+
+LoadBalanceResult
+simulateLoadBalance(uint64_t items, const LoadBalanceConfig &cfg)
+{
+    LoadBalanceResult out;
+    out.regionSharePct.assign(cfg.regions, 0.0);
+
+    // Per-region service time; the first `slowRegions` run slower.
+    std::vector<double> service(cfg.regions, cfg.serviceCycles);
+    for (int r = 0; r < cfg.slowRegions && r < cfg.regions; ++r)
+        service[r] = cfg.serviceCycles * cfg.slowdown;
+
+    // Event queue of (completion time, region). Each region holds up to
+    // slotsPerRegion items in flight (its share of the pointer pool).
+    using Event = std::pair<double, int>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> done;
+    std::vector<uint64_t> count(cfg.regions, 0);
+    std::vector<int> in_flight(cfg.regions, 0);
+    uint64_t issued = 0;
+    double now = 0;
+
+    // First wave: the allocator deals pointers round-robin while all
+    // regions have free slots.
+    bool filled = true;
+    while (filled && issued < items) {
+        filled = false;
+        for (int r = 0; r < cfg.regions && issued < items; ++r) {
+            if (in_flight[r] < cfg.slotsPerRegion) {
+                ++in_flight[r];
+                ++count[r];
+                ++issued;
+                // Items pipeline within a region: completions spaced by
+                // the region's service time.
+                done.push({now + service[r] * in_flight[r], r});
+                filled = true;
+            }
+        }
+    }
+    // Steady state: a freed slot immediately takes the next item.
+    while (!done.empty()) {
+        auto [t, r] = done.top();
+        done.pop();
+        now = t;
+        --in_flight[r];
+        if (issued < items) {
+            ++in_flight[r];
+            ++count[r];
+            ++issued;
+            done.push({now + service[r], r});
+        }
+    }
+    out.totalCycles = now;
+
+    for (int r = 0; r < cfg.regions; ++r)
+        out.regionSharePct[r] = 100.0 * count[r] / std::max<uint64_t>(
+                                                       items, 1);
+
+    // Reference points: ideal proportional split vs static equal split.
+    // Regions pipeline slotsPerRegion items concurrently, so a
+    // region's rate is slots/service.
+    double rate_sum = 0;
+    for (int r = 0; r < cfg.regions; ++r)
+        rate_sum += cfg.slotsPerRegion / service[r];
+    out.idealCycles = items / rate_sum;
+    double slowest = *std::max_element(service.begin(), service.end());
+    out.staticCycles = (static_cast<double>(items) / cfg.regions) *
+        slowest / cfg.slotsPerRegion;
+    out.slowdownVsIdeal = out.totalCycles / std::max(out.idealCycles, 1.0);
+    out.speedupVsStatic = out.staticCycles / std::max(out.totalCycles, 1.0);
+    return out;
+}
+
+} // namespace sim
+} // namespace revet

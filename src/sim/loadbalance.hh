@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Discrete-event model of allocator-driven load balancing across
+ * replicate regions (Figure 14 / Section V-B(b)).
+ *
+ * A hoisted allocator hands pointers (work slots) to replicate regions
+ * round-robin from a free queue; a region only receives new work after
+ * it frees a slot. Fast regions recycle slots sooner, so they naturally
+ * receive a larger share — without any explicit scheduler.
+ */
+
+#ifndef REVET_SIM_LOADBALANCE_HH
+#define REVET_SIM_LOADBALANCE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace revet
+{
+namespace sim
+{
+
+struct LoadBalanceConfig
+{
+    int regions = 8;
+    int slotsPerRegion = 16;      ///< allocator pool / regions
+    double slowdown = 1.3;        ///< slowest region's service-time ratio
+    int slowRegions = 1;          ///< how many regions run slow
+    double serviceCycles = 100.0; ///< base cycles per work item
+};
+
+struct LoadBalanceResult
+{
+    std::vector<double> regionSharePct; ///< % of items each region ran
+    double totalCycles = 0;
+    double idealCycles = 0;     ///< perfect proportional split
+    double staticCycles = 0;    ///< Plasticine-style fixed equal split
+    double slowdownVsIdeal = 0;
+    double speedupVsStatic = 0;
+};
+
+/** Simulate @p items flowing through the allocator-balanced regions. */
+LoadBalanceResult simulateLoadBalance(uint64_t items,
+                                      const LoadBalanceConfig &cfg = {});
+
+} // namespace sim
+} // namespace revet
+
+#endif // REVET_SIM_LOADBALANCE_HH

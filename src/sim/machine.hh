@@ -1,0 +1,60 @@
+/**
+ * @file
+ * vRDA machine parameters (paper Table II) and area model.
+ */
+
+#ifndef REVET_SIM_MACHINE_HH
+#define REVET_SIM_MACHINE_HH
+
+namespace revet
+{
+namespace sim
+{
+
+/** Table II configuration of the evaluated vRDA. */
+struct MachineConfig
+{
+    int numCU = 200;  ///< compute units
+    int numMU = 200;  ///< memory units (256 KiB, 16 banks each)
+    int numAG = 80;   ///< DRAM address generators
+    int lanes = 16;   ///< SIMD lanes per CU
+    int stages = 6;   ///< pipeline stages per CU
+    int vecBuffers = 4;  ///< 256-word vector input buffers per unit
+    int scalBuffers = 4; ///< 64-word scalar input buffers per unit
+    int vecOutputs = 4;
+    int scalOutputs = 4;
+    int muBanks = 16;
+    int muKiB = 256;
+
+    double clockGHz = 1.6;
+    double areaMM2 = 189.0; ///< Capstan + Aurochs logic, 15 nm
+
+    // HBM2 model
+    double dramPeakGBs = 900.0;
+    double dramEfficiency = 0.80; ///< refresh/bank-conflict derating
+    int burstBytes = 32;
+    int dramBanks = 128;     ///< banks usable for random access
+    double tRCns = 45.0;     ///< row-cycle time (activation limit)
+
+    /** Peak DRAM bytes per on-chip clock cycle. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramPeakGBs * dramEfficiency / clockGHz;
+    }
+
+    /** Random single-burst accesses sustainable per cycle. */
+    double
+    randomBurstsPerCycle() const
+    {
+        return dramBanks / (tRCns * clockGHz);
+    }
+
+    /** Fraction of the critical resource the mapper targets (Sec VI-B). */
+    double targetUtilization = 0.70;
+};
+
+} // namespace sim
+} // namespace revet
+
+#endif // REVET_SIM_MACHINE_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Module identity for the sim subsystem (used by build sanity checks).
+ */
+
+namespace revet
+{
+namespace sim
+{
+
+/** Name of this library module. */
+const char *
+moduleName()
+{
+    return "sim";
+}
+
+} // namespace sim
+} // namespace revet

@@ -1,0 +1,113 @@
+#include "sltf/codec.hh"
+
+namespace revet
+{
+namespace sltf
+{
+
+TokenStream
+compress(const TokenStream &explicit_stream)
+{
+    TokenStream out;
+    out.reserve(explicit_stream.size());
+    for (const Token &tok : explicit_stream) {
+        if (tok.isBarrier()) {
+            // Omega(k) directly between data and a higher barrier is
+            // implied by the higher barrier; drop it. Applying the rule
+            // as we append collapses whole chains (data,O1,O2,O3 ->
+            // data,O3).
+            while (out.size() >= 2 && out.back().isBarrier() &&
+                   out.back().barrierLevel() < tok.barrierLevel() &&
+                   out[out.size() - 2].isData()) {
+                out.pop_back();
+            }
+        }
+        out.push_back(tok);
+    }
+    return out;
+}
+
+TokenStream
+decompress(const TokenStream &wire_stream)
+{
+    TokenStream out;
+    out.reserve(wire_stream.size());
+    for (const Token &tok : wire_stream) {
+        if (tok.isBarrier() && !out.empty() && out.back().isData()) {
+            // Re-insert the implied chain Omega(1)..Omega(j-1).
+            for (int k = 1; k < tok.barrierLevel(); ++k)
+                out.push_back(Token::barrier(k));
+        }
+        out.push_back(tok);
+    }
+    return out;
+}
+
+uint64_t
+beatsForLink(const TokenStream &wire, int lanes)
+{
+    uint64_t beats = 0;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+        ++beats;
+        int data_in_beat = 0;
+        // Fill data lanes until the beat is full or a barrier appears.
+        while (pos < wire.size() && wire[pos].isData() &&
+               data_in_beat < lanes) {
+            ++data_in_beat;
+            ++pos;
+        }
+        // At most one barrier rides along with each beat.
+        if (pos < wire.size() && wire[pos].isBarrier())
+            ++pos;
+    }
+    return beats;
+}
+
+bool
+isExplicit(const TokenStream &stream, int dim)
+{
+    // prev_level: 0 after data, -1 at start of a tensor, else the level
+    // of the previous barrier.
+    int prev = -1;
+    for (const Token &tok : stream) {
+        if (tok.isData()) {
+            prev = 0;
+            continue;
+        }
+        int j = tok.barrierLevel();
+        if (j > dim)
+            return false;
+        if (prev == 0 && j != 1)
+            return false; // barrier after data must close dim 1 first
+        if (prev > 0 && j > prev + 1)
+            return false; // may close at most one more level at a time
+        prev = (j == dim) ? -1 : j;
+    }
+    return true;
+}
+
+size_t
+barrierCount(const TokenStream &stream, int level)
+{
+    size_t n = 0;
+    for (const Token &tok : stream) {
+        if (tok.isBarrier() && tok.barrierLevel() == level)
+            ++n;
+    }
+    return n;
+}
+
+size_t
+dataCount(const TokenStream &stream)
+{
+    size_t n = 0;
+    for (const Token &tok : stream) {
+        if (tok.isData())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace sltf
+} // namespace revet

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Wire-level SLTF codec and link-bandwidth accounting.
+ *
+ * The paper's on-chip encoding saves link cycles by letting a barrier
+ * Omega(j) that directly follows data imply the lower-level barriers that
+ * would close the inner groups (Section III-A: [[0,1],[2]] travels as
+ * 0,1,O1,2,O2). compress()/decompress() convert between that wire form and
+ * the explicit-barrier semantic form used by the primitives.
+ *
+ * beatsForLink() implements the Section III-C cost model: a link moves at
+ * most `lanes` data elements plus one barrier per cycle, so (t1,t2,O1) is
+ * one beat on a 16-lane vector link but two beats on a scalar link, and
+ * (O1,O2) is two beats on either.
+ */
+
+#ifndef REVET_SLTF_CODEC_HH
+#define REVET_SLTF_CODEC_HH
+
+#include <cstdint>
+
+#include "sltf/token.hh"
+
+namespace revet
+{
+namespace sltf
+{
+
+/** Number of 32-bit lanes on a vector link (512-bit network resource). */
+constexpr int vectorLanes = 16;
+
+/** Compress an explicit-barrier stream into the paper's wire encoding. */
+TokenStream compress(const TokenStream &explicit_stream);
+
+/** Expand a wire stream back into explicit-barrier form. Inverse of
+ * compress() for well-formed streams. */
+TokenStream decompress(const TokenStream &wire_stream);
+
+/**
+ * Count link beats (cycles at full throughput) needed to move @p wire.
+ *
+ * @param wire   tokens in wire encoding
+ * @param lanes  data elements per beat (16 = vector link, 1 = scalar)
+ */
+uint64_t beatsForLink(const TokenStream &wire, int lanes);
+
+/**
+ * Check that @p stream is a well-formed *explicit* stream of dim-@p dim
+ * tensors: barriers never exceed dim, a barrier directly after data is
+ * Omega(1), and a barrier after Omega(k) is at most Omega(k+1).
+ */
+bool isExplicit(const TokenStream &stream, int dim);
+
+/** Count barriers of exactly @p level in @p stream. */
+size_t barrierCount(const TokenStream &stream, int level);
+
+/** Count data tokens in @p stream. */
+size_t dataCount(const TokenStream &stream);
+
+} // namespace sltf
+} // namespace revet
+
+#endif // REVET_SLTF_CODEC_HH

@@ -1,0 +1,210 @@
+#include "sltf/ragged.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace revet
+{
+namespace sltf
+{
+
+RaggedTensor
+RaggedTensor::scalar(Word word)
+{
+    return RaggedTensor(0, word, {});
+}
+
+RaggedTensor
+RaggedTensor::empty(int dim)
+{
+    if (dim < 1)
+        throw std::invalid_argument("empty tensor needs dim >= 1");
+    return RaggedTensor(dim, 0, {});
+}
+
+RaggedTensor
+RaggedTensor::of(std::vector<RaggedTensor> children)
+{
+    if (children.empty())
+        throw std::invalid_argument("of() needs children; use empty()");
+    int child_dim = children.front().dim();
+    for (const auto &c : children) {
+        if (c.dim() != child_dim)
+            throw std::invalid_argument("ragged children must share dim");
+    }
+    return RaggedTensor(child_dim + 1, 0, std::move(children));
+}
+
+RaggedTensor
+RaggedTensor::vec(const std::vector<Word> &words)
+{
+    std::vector<RaggedTensor> kids;
+    kids.reserve(words.size());
+    for (Word w : words)
+        kids.push_back(scalar(w));
+    if (kids.empty())
+        return empty(1);
+    return of(std::move(kids));
+}
+
+Word
+RaggedTensor::word() const
+{
+    if (dim_ != 0)
+        throw std::logic_error("word() on non-scalar tensor");
+    return word_;
+}
+
+size_t
+RaggedTensor::leafCount() const
+{
+    if (dim_ == 0)
+        return 1;
+    size_t n = 0;
+    for (const auto &c : children_)
+        n += c.leafCount();
+    return n;
+}
+
+bool
+RaggedTensor::operator==(const RaggedTensor &other) const
+{
+    if (dim_ != other.dim_)
+        return false;
+    if (dim_ == 0)
+        return word_ == other.word_;
+    return children_ == other.children_;
+}
+
+std::string
+RaggedTensor::str() const
+{
+    if (dim_ == 0)
+        return std::to_string(static_cast<int64_t>(word_));
+    std::string out = "[";
+    for (size_t i = 0; i < children_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += children_[i].str();
+    }
+    return out + "]";
+}
+
+std::ostream &
+operator<<(std::ostream &os, const RaggedTensor &tensor)
+{
+    return os << tensor.str();
+}
+
+void
+encode(const RaggedTensor &tensor, TokenStream &out)
+{
+    if (tensor.isScalar()) {
+        out.push_back(Token::data(tensor.word()));
+        return;
+    }
+    for (const auto &child : tensor.children())
+        encode(child, out);
+    out.push_back(Token::barrier(tensor.dim()));
+}
+
+TokenStream
+encode(const RaggedTensor &tensor)
+{
+    TokenStream out;
+    encode(tensor, out);
+    return out;
+}
+
+namespace
+{
+
+/** Incremental parser state: one open group per dimension level. */
+struct DecodeState
+{
+    explicit DecodeState(int dim)
+        : dim(dim), open(dim + 1, false), children(dim + 1)
+    {}
+
+    int dim;
+    /** open[k]: a dim-k group is currently accumulating children. */
+    std::vector<bool> open;
+    /** children[k]: collected dim-(k-1) children of the open dim-k group.*/
+    std::vector<std::vector<RaggedTensor>> children;
+
+    /** Close the dim-k group (empty if never opened); k < dim. */
+    void
+    close(int k)
+    {
+        RaggedTensor group = children[k].empty()
+            ? RaggedTensor::empty(k)
+            : RaggedTensor::of(std::move(children[k]));
+        children[k].clear();
+        children[k + 1].push_back(std::move(group));
+        open[k] = false;
+        open[k + 1] = true;
+    }
+};
+
+} // namespace
+
+RaggedTensor
+decode(const TokenStream &stream, int dim, size_t &pos)
+{
+    if (dim < 1 || dim > maxBarrierLevel)
+        throw std::invalid_argument("decode: bad dimensionality");
+
+    DecodeState st(dim);
+    while (pos < stream.size()) {
+        const Token &tok = stream[pos++];
+        if (tok.isData()) {
+            for (int k = 1; k <= dim; ++k)
+                st.open[k] = true;
+            st.children[1].push_back(RaggedTensor::scalar(tok.word()));
+            continue;
+        }
+        int j = tok.barrierLevel();
+        if (j > dim) {
+            throw std::runtime_error(
+                "decode: barrier level " + std::to_string(j) +
+                " exceeds link dimensionality " + std::to_string(dim));
+        }
+        // A barrier Omega(j) closes any open inner groups (the wire
+        // format may have elided their explicit barriers)...
+        for (int k = 1; k < j; ++k) {
+            if (st.open[k])
+                st.close(k);
+        }
+        // ...then ends the dim-j group itself, empty if never opened.
+        if (j == dim) {
+            if (st.children[dim].empty())
+                return RaggedTensor::empty(dim);
+            return RaggedTensor::of(std::move(st.children[dim]));
+        }
+        st.close(j);
+    }
+    throw std::runtime_error("decode: stream ended inside a tensor");
+}
+
+RaggedTensor
+decode(const TokenStream &stream, int dim)
+{
+    size_t pos = 0;
+    RaggedTensor result = decode(stream, dim, pos);
+    if (pos != stream.size())
+        throw std::runtime_error("decode: trailing tokens after tensor");
+    return result;
+}
+
+std::vector<RaggedTensor>
+decodeAll(const TokenStream &stream, int dim)
+{
+    std::vector<RaggedTensor> out;
+    size_t pos = 0;
+    while (pos < stream.size())
+        out.push_back(decode(stream, dim, pos));
+    return out;
+}
+
+} // namespace sltf
+} // namespace revet

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ragged tensors: the denotational view of SLTF streams.
+ *
+ * Section III-A of the paper describes on-chip data as ragged k-dimensional
+ * tensors: the number of dimensions is fixed per link, but every dimension
+ * can have variable size, including zero. The three 2-D tensors [[]],
+ * [[],[]] and [] are distinct and must stay distinct through every
+ * primitive (Section III-A(b), "Composability").
+ *
+ * RaggedTensor is the test oracle for stream-processing primitives: encode()
+ * turns a tensor into an explicit-barrier token stream, decode() parses one
+ * back, and the pair round-trips exactly.
+ */
+
+#ifndef REVET_SLTF_RAGGED_HH
+#define REVET_SLTF_RAGGED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sltf/token.hh"
+
+namespace revet
+{
+namespace sltf
+{
+
+/**
+ * A ragged tensor of fixed dimensionality.
+ *
+ * dim() == 0 is a scalar leaf holding one Word; dim() >= 1 holds children
+ * of dimensionality dim()-1 (possibly none).
+ */
+class RaggedTensor
+{
+  public:
+    /** A scalar leaf. */
+    static RaggedTensor scalar(Word word);
+
+    /** An empty tensor of dimensionality @p dim (dim >= 1). */
+    static RaggedTensor empty(int dim);
+
+    /** A tensor of dimensionality children[0].dim()+1 (children nonempty).*/
+    static RaggedTensor of(std::vector<RaggedTensor> children);
+
+    /** A 1-D tensor from a list of words. */
+    static RaggedTensor vec(const std::vector<Word> &words);
+
+    int dim() const { return dim_; }
+    bool isScalar() const { return dim_ == 0; }
+
+    /** Leaf payload (scalar tensors only). */
+    Word word() const;
+
+    const std::vector<RaggedTensor> &children() const { return children_; }
+    size_t size() const { return children_.size(); }
+    const RaggedTensor &operator[](size_t i) const { return children_[i]; }
+
+    /** Total number of scalar leaves anywhere under this tensor. */
+    size_t leafCount() const;
+
+    bool operator==(const RaggedTensor &other) const;
+    bool operator!=(const RaggedTensor &o) const { return !(*this == o); }
+
+    /** Render as e.g. "[[0, 1], [2]]". */
+    std::string str() const;
+
+  private:
+    RaggedTensor(int dim, Word word, std::vector<RaggedTensor> children)
+        : dim_(dim), word_(word), children_(std::move(children))
+    {}
+
+    int dim_;
+    Word word_;
+    std::vector<RaggedTensor> children_;
+};
+
+std::ostream &operator<<(std::ostream &os, const RaggedTensor &tensor);
+
+/**
+ * Encode a tensor as an explicit-barrier token stream.
+ *
+ * A dim-D tensor encodes as the concatenation of its children's encodings
+ * followed by Omega(D); a scalar encodes as its data word. Appends to
+ * @p out so multiple tensors can share one stream.
+ */
+void encode(const RaggedTensor &tensor, TokenStream &out);
+
+/** Encode a single tensor into a fresh stream. */
+TokenStream encode(const RaggedTensor &tensor);
+
+/**
+ * Decode one dim-@p dim tensor from @p stream starting at @p pos.
+ *
+ * Accepts both fully explicit and wire-compressed (implied-barrier)
+ * streams; on the wire a barrier Omega(j) directly after data closes all
+ * open inner groups. Advances @p pos past the consumed tokens.
+ *
+ * @throws std::runtime_error on malformed input.
+ */
+RaggedTensor decode(const TokenStream &stream, int dim, size_t &pos);
+
+/** Decode exactly one tensor occupying the whole stream. */
+RaggedTensor decode(const TokenStream &stream, int dim);
+
+/** Decode a sequence of dim-@p dim tensors occupying the whole stream. */
+std::vector<RaggedTensor> decodeAll(const TokenStream &stream, int dim);
+
+} // namespace sltf
+} // namespace revet
+
+#endif // REVET_SLTF_RAGGED_HH

@@ -1,0 +1,45 @@
+#include "sltf/token.hh"
+
+#include <sstream>
+
+namespace revet
+{
+namespace sltf
+{
+
+std::string
+Token::str() const
+{
+    if (isBarrier())
+        return "B" + std::to_string(level_);
+    return std::to_string(static_cast<int64_t>(word_));
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Token &tok)
+{
+    return os << tok.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TokenStream &stream)
+{
+    os << "[";
+    for (size_t i = 0; i < stream.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << stream[i];
+    }
+    return os << "]";
+}
+
+std::string
+toString(const TokenStream &stream)
+{
+    std::ostringstream oss;
+    oss << stream;
+    return oss.str();
+}
+
+} // namespace sltf
+} // namespace revet

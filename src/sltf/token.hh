@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structured-Link Tensor Format (SLTF) tokens.
+ *
+ * On-chip links in the Revet abstract machine (Section III-A of the paper)
+ * carry a stream of 32-bit data words interleaved with out-of-band barrier
+ * tokens. A barrier Omega(n) marks the end of tensor dimension n; barriers
+ * encode the ragged-tensor hierarchy that carries control flow through the
+ * data plane.
+ *
+ * This repository distinguishes two stream layers (see DESIGN.md Section 2):
+ *  - the *semantic* layer, where every group termination is an explicit
+ *    barrier (what the primitives in src/dataflow operate on), and
+ *  - the *wire* layer, where a higher barrier directly following data
+ *    implies the lower ones (the paper's bandwidth-saving encoding);
+ *    conversion lives in sltf/codec.hh.
+ */
+
+#ifndef REVET_SLTF_TOKEN_HH
+#define REVET_SLTF_TOKEN_HH
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace revet
+{
+namespace sltf
+{
+
+/** A 32-bit data word: the unit of the vRDA data plane (one lane-slot). */
+using Word = uint32_t;
+
+/** Maximum barrier level; the paper assumes n <= 15 (4 bits per link). */
+constexpr int maxBarrierLevel = 15;
+
+/**
+ * One SLTF token: either a data word or a barrier Omega(level).
+ *
+ * Tokens are small value types; streams of them model the contents of one
+ * on-chip link over time.
+ */
+class Token
+{
+  public:
+    /** Construct a data token carrying @p word. */
+    static Token
+    data(Word word)
+    {
+        return Token(word, 0);
+    }
+
+    /** Construct a barrier token Omega(level), 1 <= level <= 15. */
+    static Token
+    barrier(int level)
+    {
+        return Token(0, level);
+    }
+
+    bool isData() const { return level_ == 0; }
+    bool isBarrier() const { return level_ != 0; }
+
+    /** Barrier level (0 for data tokens). */
+    int barrierLevel() const { return level_; }
+
+    /** Data payload; only meaningful for data tokens. */
+    Word word() const { return word_; }
+
+    /** Signed view of the payload (lanes are 32-bit two's complement). */
+    int32_t asInt() const { return static_cast<int32_t>(word_); }
+
+    bool
+    operator==(const Token &other) const
+    {
+        return level_ == other.level_ &&
+            (level_ != 0 || word_ == other.word_);
+    }
+
+    bool operator!=(const Token &other) const { return !(*this == other); }
+
+    /** Render as "42" or "B2" (barrier level 2) for debugging. */
+    std::string str() const;
+
+  private:
+    Token(Word word, int level) : word_(word), level_(level) {}
+
+    Word word_;
+    int level_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Token &tok);
+
+/** A recorded stream of tokens (the contents of a link over time). */
+using TokenStream = std::vector<Token>;
+
+std::ostream &operator<<(std::ostream &os, const TokenStream &stream);
+
+/** Render a stream as e.g. "[1, 2, B1, 3, B2]". */
+std::string toString(const TokenStream &stream);
+
+/** Convenience: build a stream from ints (>= 0) and barriers. */
+class StreamBuilder
+{
+  public:
+    /** Append a data word. */
+    StreamBuilder &
+    d(Word word)
+    {
+        stream_.push_back(Token::data(word));
+        return *this;
+    }
+
+    /** Append a barrier Omega(level). */
+    StreamBuilder &
+    b(int level)
+    {
+        stream_.push_back(Token::barrier(level));
+        return *this;
+    }
+
+    TokenStream build() const { return stream_; }
+
+    operator TokenStream() const { return stream_; }
+
+  private:
+    TokenStream stream_;
+};
+
+} // namespace sltf
+} // namespace revet
+
+#endif // REVET_SLTF_TOKEN_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Public-API and whole-pipeline ablation tests: every pass-pipeline
+ * configuration must preserve program semantics end to end (the
+ * Figure 12 ablation study depends on this), and the CompiledProgram
+ * API must behave as documented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "apps/apps.hh"
+#include "core/revet.hh"
+#include "lang/lex.hh"
+
+using namespace revet;
+
+TEST(CoreApi, CompileRejectsBadPrograms)
+{
+    EXPECT_THROW(CompiledProgram::compile("void main(int n) { x = 1; }"),
+                 lang::CompileError);
+    EXPECT_THROW(CompiledProgram::compile("int f() { return 1; }"),
+                 lang::CompileError); // no main
+}
+
+TEST(CoreApi, InterpretAndExecuteAgree)
+{
+    auto prog = CompiledProgram::compile(R"(
+        DRAM<int> out;
+        void main(int n) {
+          int acc = foreach (n) { int i => return i * 3; };
+          out[0] = acc;
+        })");
+    lang::DramImage a(prog.hir()), b(prog.hir());
+    a.resize("out", 4);
+    b.resize("out", 4);
+    prog.interpret(a, {10});
+    prog.execute(b, {10});
+    EXPECT_EQ(a.bytes(0), b.bytes(0));
+    EXPECT_EQ(a.read<int32_t>("out")[0], 135);
+}
+
+TEST(CoreApi, GraphIsInspectable)
+{
+    auto prog = CompiledProgram::compile(
+        "DRAM<int> out; void main(int n) { out[0] = n; }");
+    EXPECT_GT(prog.dfg().nodes.size(), 0u);
+    EXPECT_NE(prog.dfg().toDot().find("digraph"), std::string::npos);
+}
+
+struct AblationCase
+{
+    const char *name;
+    CompileOptions opts;
+};
+
+class PipelineAblation
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{};
+
+TEST_P(PipelineAblation, EveryConfigurationPreservesAppSemantics)
+{
+    const auto &app = apps::findApp(std::get<0>(GetParam()));
+    int config = std::get<1>(GetParam());
+    CompileOptions opts;
+    switch (config) {
+      case 0:
+        break; // default
+      case 1:
+        opts.passes.ifToSelect = false;
+        break;
+      case 2:
+        opts.passes.eliminateHierarchy = false;
+        break;
+      case 3:
+        opts.passes.ifToSelect = false;
+        opts.passes.eliminateHierarchy = false;
+        break;
+    }
+    auto prog = CompiledProgram::compile(app.source, opts);
+    lang::DramImage dram(prog.hir());
+    auto args = app.generate(dram, 4);
+    prog.execute(dram, args);
+    EXPECT_EQ(app.verify(dram, 4), "")
+        << app.name << " under config " << config;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PipelineAblation,
+    ::testing::Combine(::testing::Values("isipv4", "murmur3", "search",
+                                         "huff-enc", "kD-tree"),
+                       ::testing::Values(0, 1, 2, 3)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param) + "_cfg" +
+            std::to_string(std::get<1>(info.param));
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(CoreApi, RandomizedCollatzStress)
+{
+    // Property sweep: random inputs through a control-heavy kernel on
+    // both execution paths.
+    auto prog = CompiledProgram::compile(R"(
+        DRAM<int> data; DRAM<int> out;
+        void main(int n) {
+          foreach (n) { int i =>
+            int v = data[i];
+            int steps = 0;
+            while (v != 1 && steps < 200) {
+              if (v % 2 == 0) { v = v / 2; } else { v = v * 3 + 1; };
+              steps++;
+            };
+            out[i] = steps;
+          };
+        })");
+    std::mt19937 rng(99);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<int32_t> data(40);
+        for (auto &d : data)
+            d = 1 + rng() % 10000;
+        lang::DramImage a(prog.hir()), b(prog.hir());
+        a.fill("data", data);
+        a.resize("out", 40 * 4);
+        b.fill("data", data);
+        b.resize("out", 40 * 4);
+        prog.interpret(a, {40});
+        prog.execute(b, {40});
+        EXPECT_EQ(a.bytes(1), b.bytes(1)) << "trial " << trial;
+    }
+}

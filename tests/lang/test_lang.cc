@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Lexer / parser / sema tests, including parsing the paper's Figure 7
+ * strlen program verbatim (modulo comment style).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/lex.hh"
+#include "lang/parse.hh"
+#include "lang/sema.hh"
+
+using namespace revet::lang;
+
+TEST(Lex, TokensAndPositions)
+{
+    auto toks = lex("int x = 40 + 0x2; // comment\nx <<= 1;");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, Tok::kwInt);
+    EXPECT_EQ(toks[1].kind, Tok::ident);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[2].kind, Tok::assign);
+    EXPECT_EQ(toks[3].kind, Tok::intLit);
+    EXPECT_EQ(toks[3].value, 40);
+    EXPECT_EQ(toks[5].kind, Tok::intLit);
+    EXPECT_EQ(toks[5].value, 2);
+    EXPECT_EQ(toks[7].kind, Tok::ident);
+    EXPECT_EQ(toks[7].line, 2);
+    EXPECT_EQ(toks[8].kind, Tok::shlAssign);
+}
+
+TEST(Lex, CharAndEscapes)
+{
+    auto toks = lex("'a' '\\n' '\\0'");
+    EXPECT_EQ(toks[0].value, 'a');
+    EXPECT_EQ(toks[1].value, '\n');
+    EXPECT_EQ(toks[2].value, 0);
+}
+
+TEST(Lex, ErrorsCarryPosition)
+{
+    try {
+        lex("int x = @;");
+        FAIL() << "expected CompileError";
+    } catch (const CompileError &err) {
+        EXPECT_EQ(err.line, 1);
+        EXPECT_EQ(err.col, 9);
+    }
+}
+
+TEST(Parse, MinimalMain)
+{
+    Program p = parse("void main(int n) { int x = n + 1; }");
+    ASSERT_EQ(p.functions.size(), 1u);
+    EXPECT_EQ(p.functions[0]->name, "main");
+    EXPECT_EQ(p.functions[0]->paramSlots.size(), 1u);
+}
+
+TEST(Parse, DramDecls)
+{
+    Program p = parse("DRAM<char> input; DRAM<int> output;\n"
+                      "void main(int n) { }");
+    ASSERT_EQ(p.drams.size(), 2u);
+    EXPECT_EQ(p.drams[0].name, "input");
+    EXPECT_EQ(p.drams[0].elem, Scalar::i8);
+    EXPECT_EQ(p.drams[1].elem, Scalar::i32);
+    EXPECT_EQ(p.dramId("output"), 1);
+    EXPECT_EQ(p.dramId("nope"), -1);
+}
+
+TEST(Parse, PaperStrlenFigure7)
+{
+    const char *src = R"(
+        DRAM<char> input; DRAM<int> offsets; DRAM<int> lengths;
+
+        void main(int count) {
+          foreach (count by 1024) { int outer =>
+            ReadView<1024> in_view(offsets, outer);
+            WriteView<1024> out_view(lengths, outer);
+            foreach (1024) { int idx =>
+              pragma(eliminate_hierarchy);
+              int len = 0;
+              int off = in_view[idx];
+              replicate (4) {
+                ReadIt<64> it(input, off);
+                while (*it) {
+                  len++;
+                  it++;
+                };
+              };
+              out_view[idx] = len;
+            };
+          };
+        }
+    )";
+    Program p = parseAndAnalyze(src);
+    Function *main = p.main();
+    ASSERT_NE(main, nullptr);
+    // The pragma migrated onto the inner foreach.
+    const Stmt &outer_fe = *main->bodyStmt->body[0];
+    ASSERT_EQ(outer_fe.kind, StmtKind::foreachStmt);
+    ASSERT_TRUE(outer_fe.extra) << "outer foreach has a `by` step";
+    const Stmt *inner_fe = nullptr;
+    for (const auto &s : outer_fe.body) {
+        if (s->kind == StmtKind::foreachStmt)
+            inner_fe = s.get();
+    }
+    ASSERT_NE(inner_fe, nullptr);
+    ASSERT_EQ(inner_fe->pragmas.size(), 1u);
+    EXPECT_EQ(inner_fe->pragmas[0].name, "eliminate_hierarchy");
+    // replicate(4) with a while loop and an iterator advance inside.
+    const Stmt *repl = nullptr;
+    for (const auto &s : inner_fe->body) {
+        if (s->kind == StmtKind::replicateStmt)
+            repl = s.get();
+    }
+    ASSERT_NE(repl, nullptr);
+    EXPECT_EQ(repl->replicas, 4);
+}
+
+TEST(Sema, RejectsUndeclared)
+{
+    EXPECT_THROW(parseAndAnalyze("void main(int n) { x = 1; }"),
+                 CompileError);
+    EXPECT_THROW(parseAndAnalyze("void main(int n) { int y = x + 1; }"),
+                 CompileError);
+}
+
+TEST(Sema, ParentScalarsReadOnlyInsideForeach)
+{
+    const char *src = R"(
+        void main(int n) {
+          int total = 0;
+          foreach (n) { int i =>
+            total = total + i;
+          };
+        }
+    )";
+    try {
+        parseAndAnalyze(src);
+        FAIL() << "expected CompileError";
+    } catch (const CompileError &err) {
+        EXPECT_NE(std::string(err.what()).find("read-only"),
+                  std::string::npos);
+    }
+}
+
+TEST(Sema, ForeachReductionBindsResult)
+{
+    const char *src = R"(
+        void main(int n) {
+          int total = foreach (n) { int i =>
+            return i * i;
+          };
+        }
+    )";
+    Program p = parseAndAnalyze(src);
+    const auto &body = p.main()->bodyStmt->body;
+    // Desugared into decl + foreach-with-result (inside a block).
+    const Stmt *fe = nullptr;
+    for (const auto &s : body) {
+        const Stmt *cursor = s.get();
+        if (cursor->kind == StmtKind::block && cursor->body.size() == 2)
+            cursor = cursor->body[1].get();
+        if (cursor->kind == StmtKind::foreachStmt)
+            fe = cursor;
+    }
+    ASSERT_NE(fe, nullptr);
+    EXPECT_GE(fe->resultSlot, 0);
+}
+
+TEST(Sema, IteratorRules)
+{
+    // Deref of a non-iterator is rejected.
+    EXPECT_THROW(parseAndAnalyze("void main(int n) { int x = *n; }"),
+                 CompileError);
+    // Iterator arithmetic beyond `it += k` is rejected.
+    EXPECT_THROW(parseAndAnalyze(R"(
+        DRAM<int> d;
+        void main(int n) {
+          ReadIt<16> it(d, 0);
+          it = it * 2;
+        })"),
+                 CompileError);
+    // Iterators cannot cross foreach boundaries.
+    EXPECT_THROW(parseAndAnalyze(R"(
+        DRAM<int> d;
+        void main(int n) {
+          ReadIt<16> it(d, 0);
+          foreach (n) { int i =>
+            int x = *it;
+          };
+        })"),
+                 CompileError);
+}
+
+TEST(Sema, AdapterCapabilityChecks)
+{
+    // Writing a ReadView is rejected (Table I).
+    EXPECT_THROW(parseAndAnalyze(R"(
+        DRAM<int> d;
+        void main(int n) {
+          ReadView<16> v(d, 0);
+          v[0] = 1;
+        })"),
+                 CompileError);
+    // Reading a WriteView is rejected.
+    EXPECT_THROW(parseAndAnalyze(R"(
+        DRAM<int> d;
+        void main(int n) {
+          WriteView<16> v(d, 0);
+          int x = v[0];
+        })"),
+                 CompileError);
+    // ModifyView allows both.
+    EXPECT_NO_THROW(parseAndAnalyze(R"(
+        DRAM<int> d;
+        void main(int n) {
+          ModifyView<16> v(d, 0);
+          v[0] = v[1] + 1;
+        })"));
+}
+
+TEST(Sema, InlinesUserFunctions)
+{
+    const char *src = R"(
+        int square(int v) {
+          int out = v * v;
+          return out;
+        }
+        void main(int n) {
+          int y = square(n) + square(3);
+        }
+    )";
+    Program p = parseAndAnalyze(src);
+    EXPECT_EQ(p.functions.size(), 1u) << "callees are inlined away";
+    // Body should contain the inlined statements; dump sanity-check.
+    std::string text = dump(*p.main());
+    EXPECT_EQ(text.find("square("), std::string::npos);
+}
+
+TEST(Sema, RejectsRecursion)
+{
+    const char *src = R"(
+        int f(int v) {
+          int r = f(v - 1);
+          return r;
+        }
+        void main(int n) { int x = f(n); }
+    )";
+    EXPECT_THROW(parseAndAnalyze(src), CompileError);
+}
+
+TEST(Sema, MinMaxBuiltins)
+{
+    Program p = parseAndAnalyze(
+        "void main(int n) { int a = min(n, 3); int b = max(n, 3); }");
+    std::string text = dump(*p.main());
+    EXPECT_NE(text.find("?"), std::string::npos)
+        << "min/max become selects";
+}
+
+TEST(Sema, FetchAddBuiltin)
+{
+    Program p = parseAndAnalyze(R"(
+        void main(int n) {
+          SRAM<int, 4> cell;
+          int old = fetch_add(cell, 0, 1);
+          int old2 = fetch_sub(cell, 0, 1);
+        })");
+    SUCCEED();
+}
+
+TEST(Sema, FetchAddRequiresSram)
+{
+    EXPECT_THROW(parseAndAnalyze(R"(
+        void main(int n) {
+          int x = 0;
+          int old = fetch_add(x, 0, 1);
+        })"),
+                 CompileError);
+}
+
+TEST(Sema, ForkOnlyInDeclarations)
+{
+    EXPECT_NO_THROW(
+        parseAndAnalyze("void main(int n) { int i = fork(n); }"));
+    EXPECT_THROW(parseAndAnalyze("void main(int n) { int i = fork(n) + 1; }"),
+                 CompileError);
+}
+
+TEST(Sema, TypePromotionAndCasts)
+{
+    Program p = parseAndAnalyze(R"(
+        void main(int n) {
+          char c = 200;
+          int wide = c + 1;
+          uint u = 3;
+          bool flag = u < wide;
+        })");
+    SUCCEED();
+}
+
+TEST(Sema, WhileConditionMayNotCall)
+{
+    EXPECT_THROW(parseAndAnalyze(R"(
+        int f(int v) { int r = v; return r; }
+        void main(int n) {
+          while (f(n)) { n = 0; }
+        })"),
+                 CompileError);
+}

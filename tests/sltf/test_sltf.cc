@@ -1,0 +1,298 @@
+/**
+ * @file
+ * SLTF token/tensor/codec tests, including the exact encodings given in
+ * Section III-A of the paper and property sweeps over random ragged
+ * tensors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sltf/codec.hh"
+#include "sltf/ragged.hh"
+#include "sltf/token.hh"
+
+using namespace revet::sltf;
+
+namespace
+{
+
+RaggedTensor
+t2(std::vector<std::vector<Word>> rows)
+{
+    std::vector<RaggedTensor> kids;
+    for (auto &row : rows)
+        kids.push_back(RaggedTensor::vec(row));
+    if (kids.empty())
+        return RaggedTensor::empty(2);
+    return RaggedTensor::of(std::move(kids));
+}
+
+} // namespace
+
+TEST(Token, Basics)
+{
+    Token d = Token::data(42);
+    Token b = Token::barrier(3);
+    EXPECT_TRUE(d.isData());
+    EXPECT_FALSE(d.isBarrier());
+    EXPECT_EQ(d.word(), 42u);
+    EXPECT_TRUE(b.isBarrier());
+    EXPECT_EQ(b.barrierLevel(), 3);
+    EXPECT_EQ(d.str(), "42");
+    EXPECT_EQ(b.str(), "B3");
+    EXPECT_EQ(d, Token::data(42));
+    EXPECT_NE(d, Token::data(43));
+    EXPECT_NE(d, b);
+    EXPECT_EQ(b, Token::barrier(3));
+    EXPECT_NE(b, Token::barrier(2));
+}
+
+TEST(Token, SignedView)
+{
+    Token d = Token::data(static_cast<Word>(-7));
+    EXPECT_EQ(d.asInt(), -7);
+}
+
+TEST(StreamBuilder, BuildsStreams)
+{
+    TokenStream s = StreamBuilder().d(1).d(2).b(1).d(3).b(2);
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_EQ(toString(s), "[1, 2, B1, 3, B2]");
+}
+
+TEST(Ragged, ScalarAndVec)
+{
+    RaggedTensor s = RaggedTensor::scalar(7);
+    EXPECT_EQ(s.dim(), 0);
+    EXPECT_EQ(s.word(), 7u);
+    RaggedTensor v = RaggedTensor::vec({1, 2, 3});
+    EXPECT_EQ(v.dim(), 1);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v.leafCount(), 3u);
+    EXPECT_EQ(v.str(), "[1, 2, 3]");
+}
+
+TEST(Ragged, EmptyTensorsAreDistinct)
+{
+    // Section III-A(b): [[]], [[],[]] and [] are distinct values.
+    RaggedTensor a = RaggedTensor::of({RaggedTensor::empty(1)});
+    RaggedTensor b =
+        RaggedTensor::of({RaggedTensor::empty(1), RaggedTensor::empty(1)});
+    RaggedTensor c = RaggedTensor::empty(2);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(a.str(), "[[]]");
+    EXPECT_EQ(b.str(), "[[], []]");
+    EXPECT_EQ(c.str(), "[]");
+}
+
+TEST(Ragged, PaperEncodingExample)
+{
+    // Explicit form of [[0,1],[2]]; the paper's wire form elides the
+    // second B1 (checked in the Codec tests below).
+    RaggedTensor t = t2({{0, 1}, {2}});
+    TokenStream expect = StreamBuilder().d(0).d(1).b(1).d(2).b(1).b(2);
+    EXPECT_EQ(encode(t), expect);
+    EXPECT_EQ(decode(expect, 2), t);
+}
+
+TEST(Ragged, EmptyTensorEncodings)
+{
+    RaggedTensor a = RaggedTensor::of({RaggedTensor::empty(1)});
+    RaggedTensor b =
+        RaggedTensor::of({RaggedTensor::empty(1), RaggedTensor::empty(1)});
+    RaggedTensor c = RaggedTensor::empty(2);
+    EXPECT_EQ(encode(a), (TokenStream)StreamBuilder().b(1).b(2));
+    EXPECT_EQ(encode(b), (TokenStream)StreamBuilder().b(1).b(1).b(2));
+    EXPECT_EQ(encode(c), (TokenStream)StreamBuilder().b(2));
+    EXPECT_EQ(decode(encode(a), 2), a);
+    EXPECT_EQ(decode(encode(b), 2), b);
+    EXPECT_EQ(decode(encode(c), 2), c);
+}
+
+TEST(Ragged, DecodeWireForm)
+{
+    // The decoder accepts the paper's implied-barrier wire form directly.
+    TokenStream wire = StreamBuilder().d(0).d(1).b(1).d(2).b(2);
+    EXPECT_EQ(decode(wire, 2), t2({{0, 1}, {2}}));
+}
+
+TEST(Ragged, DecodeRejectsMalformed)
+{
+    EXPECT_THROW(decode(StreamBuilder().d(1).build(), 1),
+                 std::runtime_error); // unterminated
+    EXPECT_THROW(decode(StreamBuilder().d(1).b(3).build(), 2),
+                 std::runtime_error); // barrier above link dim
+    EXPECT_THROW(decode(StreamBuilder().d(1).b(1).d(2).b(1).build(), 1),
+                 std::runtime_error); // trailing tokens
+}
+
+TEST(Ragged, DecodeAllSequence)
+{
+    TokenStream s = StreamBuilder().d(1).b(1).b(1).d(2).d(3).b(1);
+    auto tensors = decodeAll(s, 1);
+    ASSERT_EQ(tensors.size(), 3u);
+    EXPECT_EQ(tensors[0], RaggedTensor::vec({1}));
+    EXPECT_EQ(tensors[1], RaggedTensor::empty(1));
+    EXPECT_EQ(tensors[2], RaggedTensor::vec({2, 3}));
+}
+
+TEST(Codec, CompressMatchesPaperExample)
+{
+    // [[0,1],[2]] must travel as 0,1,O1,2,O2 (Section III-A).
+    TokenStream expl = StreamBuilder().d(0).d(1).b(1).d(2).b(1).b(2);
+    TokenStream wire = StreamBuilder().d(0).d(1).b(1).d(2).b(2);
+    EXPECT_EQ(compress(expl), wire);
+    EXPECT_EQ(decompress(wire), expl);
+}
+
+TEST(Codec, CompressKeepsEmptyGroupBarriers)
+{
+    // [[],[]] = O1,O1,O2 on the wire: empty groups are never implied.
+    TokenStream s = StreamBuilder().b(1).b(1).b(2);
+    EXPECT_EQ(compress(s), s);
+    EXPECT_EQ(decompress(s), s);
+    // [[]] = O1,O2 and [] = O2 stay distinct.
+    TokenStream a = StreamBuilder().b(1).b(2);
+    TokenStream c = StreamBuilder().b(2);
+    EXPECT_EQ(compress(a), a);
+    EXPECT_EQ(compress(c), c);
+}
+
+TEST(Codec, CompressCollapsesChains)
+{
+    // data,O1,O2,O3 -> data,O3 and back.
+    TokenStream expl = StreamBuilder().d(5).b(1).b(2).b(3);
+    TokenStream wire = StreamBuilder().d(5).b(3);
+    EXPECT_EQ(compress(expl), wire);
+    EXPECT_EQ(decompress(wire), expl);
+}
+
+TEST(Codec, MixedEmptyNonEmptySiblings)
+{
+    // [[0,1],[2],[]]: the group after 2 is non-empty (implied) but the
+    // final empty group keeps its explicit barrier.
+    RaggedTensor t = t2({{0, 1}, {2}, {}});
+    TokenStream wire = compress(encode(t));
+    EXPECT_EQ(wire,
+              (TokenStream)StreamBuilder().d(0).d(1).b(1).d(2).b(1).b(1).b(2));
+    EXPECT_EQ(decode(wire, 2), t);
+}
+
+TEST(Codec, BeatsVectorVsScalar)
+{
+    // Section III-C: (t1,t2,O1) = 1 vector beat, 2 scalar beats.
+    TokenStream s = StreamBuilder().d(1).d(2).b(1);
+    EXPECT_EQ(beatsForLink(s, vectorLanes), 1u);
+    EXPECT_EQ(beatsForLink(s, 1), 2u);
+    // (O1,O2) = 2 beats on both.
+    TokenStream b = StreamBuilder().b(1).b(2);
+    EXPECT_EQ(beatsForLink(b, vectorLanes), 2u);
+    EXPECT_EQ(beatsForLink(b, 1), 2u);
+}
+
+TEST(Codec, BeatsFullVector)
+{
+    StreamBuilder sb;
+    for (int i = 0; i < 33; ++i)
+        sb.d(i);
+    sb.b(1);
+    // 16 + 16 + (1 data + barrier) = 3 vector beats; 33 scalar beats.
+    EXPECT_EQ(beatsForLink(sb, vectorLanes), 3u);
+    EXPECT_EQ(beatsForLink(sb, 1), 33u);
+}
+
+TEST(Codec, IsExplicit)
+{
+    EXPECT_TRUE(isExplicit(StreamBuilder().d(1).b(1).b(2), 2));
+    EXPECT_TRUE(isExplicit(StreamBuilder().b(1).b(1).b(2), 2));
+    EXPECT_FALSE(isExplicit(StreamBuilder().d(1).b(2), 2)); // implied form
+    EXPECT_FALSE(isExplicit(StreamBuilder().b(1).b(3), 3)); // skips level 2
+    EXPECT_FALSE(isExplicit(StreamBuilder().d(1).b(1).b(4), 3)); // above dim
+}
+
+TEST(Codec, Counters)
+{
+    TokenStream s = StreamBuilder().d(1).d(2).b(1).d(3).b(1).b(2);
+    EXPECT_EQ(dataCount(s), 3u);
+    EXPECT_EQ(barrierCount(s, 1), 2u);
+    EXPECT_EQ(barrierCount(s, 2), 1u);
+    EXPECT_EQ(barrierCount(s, 3), 0u);
+}
+
+namespace
+{
+
+/** Generate a random ragged tensor of dimensionality @p dim. */
+RaggedTensor
+randomTensor(std::mt19937 &rng, int dim, int max_fanout)
+{
+    if (dim == 0)
+        return RaggedTensor::scalar(rng() % 1000);
+    std::uniform_int_distribution<int> fanout(0, max_fanout);
+    int n = fanout(rng);
+    if (n == 0)
+        return RaggedTensor::empty(dim);
+    std::vector<RaggedTensor> kids;
+    for (int i = 0; i < n; ++i)
+        kids.push_back(randomTensor(rng, dim - 1, max_fanout));
+    return RaggedTensor::of(std::move(kids));
+}
+
+} // namespace
+
+class SltfRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SltfRoundTrip, EncodeDecodeIdentity)
+{
+    int dim = GetParam();
+    std::mt19937 rng(1234 + dim);
+    for (int iter = 0; iter < 200; ++iter) {
+        RaggedTensor t = randomTensor(rng, dim, 4);
+        TokenStream expl = encode(t);
+        ASSERT_TRUE(isExplicit(expl, dim)) << toString(expl);
+        EXPECT_EQ(decode(expl, dim), t);
+    }
+}
+
+TEST_P(SltfRoundTrip, WireCodecIdentity)
+{
+    int dim = GetParam();
+    std::mt19937 rng(99 + dim);
+    for (int iter = 0; iter < 200; ++iter) {
+        RaggedTensor t = randomTensor(rng, dim, 4);
+        TokenStream expl = encode(t);
+        TokenStream wire = compress(expl);
+        EXPECT_LE(wire.size(), expl.size());
+        EXPECT_EQ(decompress(wire), expl) << toString(expl);
+        // The wire form decodes directly too.
+        EXPECT_EQ(decode(wire, dim), t);
+    }
+}
+
+TEST_P(SltfRoundTrip, CompressIsInjectiveOnSamples)
+{
+    int dim = GetParam();
+    std::mt19937 rng(7 + dim);
+    std::map<std::string, std::string> seen; // wire -> tensor
+    for (int iter = 0; iter < 300; ++iter) {
+        RaggedTensor t = randomTensor(rng, dim, 3);
+        std::string wire = toString(compress(encode(t)));
+        auto it = seen.find(wire);
+        if (it != seen.end()) {
+            EXPECT_EQ(it->second, t.str())
+                << "two tensors share wire form " << wire;
+        } else {
+            seen.emplace(wire, t.str());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SltfRoundTrip, ::testing::Values(1, 2, 3, 4),
+                         [](const auto &info) {
+                             return "dim" + std::to_string(info.param);
+                         });
