@@ -1,0 +1,41 @@
+# Shared warning configuration for every Revet target.
+#
+# Usage: link `revet::warnings` into a target (PRIVATE). Warnings are
+# promoted to errors unless -DREVET_WERROR=OFF, so latent bugs (e.g.
+# switch statements missing an enumerator) cannot re-enter the tree.
+
+add_library(revet_warnings INTERFACE)
+add_library(revet::warnings ALIAS revet_warnings)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(revet_warnings INTERFACE
+        -Wall
+        -Wextra
+        -Wnon-virtual-dtor
+        -Woverloaded-virtual
+        $<$<BOOL:${REVET_WERROR}>:-Werror>)
+elseif(MSVC)
+    target_compile_options(revet_warnings INTERFACE
+        /W4
+        $<$<BOOL:${REVET_WERROR}>:/WX>)
+endif()
+
+# One interface target carrying the `src/`-rooted include convention
+# (#include "lang/ast.hh" etc.) used by all subsystems and consumers.
+add_library(revet_includes INTERFACE)
+add_library(revet::includes ALIAS revet_includes)
+target_include_directories(revet_includes INTERFACE
+    "${CMAKE_CURRENT_SOURCE_DIR}/src")
+
+# Helper: declare a revet static library `revet_<name>` (alias
+# revet::<name>) from the sources of src/<name>, linking the listed
+# revet::<dep> libraries PUBLIC so transitive link order is derived
+# automatically.
+function(revet_add_library name)
+    cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+    add_library(revet_${name} STATIC ${ARG_SOURCES})
+    add_library(revet::${name} ALIAS revet_${name})
+    target_link_libraries(revet_${name}
+        PUBLIC revet::includes ${ARG_DEPS}
+        PRIVATE revet::warnings)
+endfunction()

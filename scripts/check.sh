@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Revet repo.
+#
+# Default mode runs the full pipeline from a clean tree:
+#   configure (with -Werror and compile_commands.json export),
+#   build everything, run every CTest case.
+#
+#   ./scripts/check.sh [BUILD_DIR]                   # full pipeline (default: build)
+#   ./scripts/check.sh --smoke BUILD_DIR [SUITE...]  # validate an existing build
+#
+# --smoke is registered with CTest as `tooling.check_smoke`: it asserts
+# that the configured tree exported compile_commands.json and produced
+# every test-suite binary, without re-entering CMake (which would
+# recurse through ctest). The suite names are passed in by
+# tests/CMakeLists.txt, the single source of truth; the list below is
+# only the fallback for running --smoke by hand.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+SUITES=(apps core dataflow graph interp lang passes sim sltf)
+
+smoke() {
+    local build_dir="$1"
+    shift
+    if [[ "$#" -gt 0 ]]; then
+        SUITES=("$@")
+    fi
+    local failed=0
+
+    if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+        echo "check.sh: missing $build_dir/compile_commands.json" \
+             "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+        failed=1
+    fi
+
+    for suite in "${SUITES[@]}"; do
+        local bin="$build_dir/tests/revet_test_$suite"
+        if [[ ! -x "$bin" ]]; then
+            echo "check.sh: missing test binary $bin" >&2
+            failed=1
+        fi
+    done
+
+    if [[ "$failed" -ne 0 ]]; then
+        exit 1
+    fi
+    echo "check.sh: smoke OK (compile_commands.json + ${#SUITES[@]} suite binaries)"
+}
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    if [[ -z "${2:-}" ]]; then
+        echo "usage: check.sh --smoke BUILD_DIR [SUITE...]" >&2
+        exit 2
+    fi
+    shift
+    smoke "$@"
+    exit 0
+fi
+
+build_dir="${1:-$repo_root/build}"
+# Absolute path: cmake would resolve a relative dir against $PWD, but
+# the compile_commands.json symlink below resolves against $repo_root.
+mkdir -p "$build_dir"
+build_dir="$(cd "$build_dir" && pwd)"
+
+echo "== configure ($build_dir)"
+cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DREVET_WERROR=ON
+
+echo "== build"
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "== test"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Keep a repo-root symlink so clangd/clang-tidy pick the database up.
+ln -sf "$build_dir/compile_commands.json" "$repo_root/compile_commands.json" || true
+
+echo "== check.sh: all green"

@@ -244,6 +244,11 @@ dump(const Expr &expr, const Function &fn)
       case ExprKind::call:
         os << expr.name << "(...)";
         break;
+      case ExprKind::atomicRmw:
+        os << (expr.bop == BinOp::sub ? "fetch_sub" : "fetch_add") << "("
+           << slotName(fn, expr.slot) << "[" << dump(*expr.a, fn)
+           << "], " << dump(*expr.b, fn) << ")";
+        break;
     }
     return os.str();
 }
@@ -295,6 +300,9 @@ dump(const Stmt &stmt, const Function &fn, int indent)
       case StmtKind::itAdvance:
         os << pad << slotName(fn, stmt.slot) << " += "
            << dump(*stmt.index, fn) << ";\n";
+        break;
+      case StmtKind::exprStmt:
+        os << pad << dump(*stmt.value, fn) << ";\n";
         break;
       case StmtKind::ifStmt:
         os << pad << "if (" << dump(*stmt.value, fn) << ") {\n";

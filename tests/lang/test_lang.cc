@@ -310,3 +310,275 @@ TEST(Sema, WhileConditionMayNotCall)
         })"),
                  CompileError);
 }
+
+// ---------------------------------------------------------------------------
+// dump() coverage: every ExprKind / StmtKind enumerator must render to
+// non-empty text. The factories below use exhaustive switches with no
+// default, so adding a new node kind without teaching both the factory
+// and dump() about it fails the build under -Werror=switch instead of
+// silently dumping an empty string (the atomicRmw/exprStmt regression).
+// ---------------------------------------------------------------------------
+
+#include "lang/ast.hh"
+
+namespace
+{
+
+/** A function with enough named slots to exercise every node kind. */
+Function
+dumpFixture()
+{
+    Function fn;
+    fn.name = "fixture";
+    fn.returnType = Scalar::voidTy;
+
+    SlotInfo x;
+    x.name = "x";
+    x.type = Scalar::i32;
+    fn.addSlot(x); // slot 0: scalar
+
+    SlotInfo acc;
+    acc.name = "acc";
+    acc.type = Scalar::i32;
+    acc.adapter = AdapterKind::sram;
+    acc.size = 16;
+    fn.addSlot(acc); // slot 1: SRAM
+
+    SlotInfo it;
+    it.name = "it";
+    it.type = Scalar::i8;
+    it.adapter = AdapterKind::readIt;
+    it.size = 64;
+    it.dram = 0;
+    fn.addSlot(it); // slot 2: read iterator
+
+    return fn;
+}
+
+/** Build a representative expression of the given kind. */
+ExprPtr
+exprOfKind(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::intConst:
+        return makeIntConst(42);
+      case ExprKind::varRef:
+        return makeVarRef(0, Scalar::i32);
+      case ExprKind::unary:
+        return makeUnary(UnOp::neg, makeIntConst(1), Scalar::i32);
+      case ExprKind::binary:
+        return makeBinary(BinOp::add, makeIntConst(1), makeIntConst(2),
+                          Scalar::i32);
+      case ExprKind::cond: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::cond;
+        e->a = makeIntConst(1);
+        e->b = makeIntConst(2);
+        e->c = makeIntConst(3);
+        return e;
+      }
+      case ExprKind::cast:
+        return makeCast(makeIntConst(300), Scalar::i8);
+      case ExprKind::indexRead: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::indexRead;
+        e->slot = 1;
+        e->a = makeIntConst(3);
+        return e;
+      }
+      case ExprKind::derefIt: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::derefIt;
+        e->slot = 2;
+        return e;
+      }
+      case ExprKind::peekIt: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::peekIt;
+        e->slot = 2;
+        e->a = makeIntConst(1);
+        return e;
+      }
+      case ExprKind::forkExpr: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::forkExpr;
+        e->a = makeIntConst(4);
+        return e;
+      }
+      case ExprKind::call: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::call;
+        e->name = "helper";
+        return e;
+      }
+      case ExprKind::atomicRmw: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::atomicRmw;
+        e->bop = BinOp::add;
+        e->slot = 1;
+        e->a = makeIntConst(0);
+        e->b = makeIntConst(1);
+        return e;
+      }
+    }
+    return nullptr;
+}
+
+/** Build a representative statement of the given kind. */
+StmtPtr
+stmtOfKind(StmtKind kind)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    switch (kind) {
+      case StmtKind::block:
+        // dump(block) prints only its children; give it one so the
+        // non-empty assertion below is meaningful.
+        s->body.push_back(stmtOfKind(StmtKind::exitStmt));
+        return s;
+      case StmtKind::varDecl:
+        s->slot = 0;
+        s->declType = Scalar::i32;
+        s->value = makeIntConst(7);
+        return s;
+      case StmtKind::sramDecl:
+        s->slot = 1;
+        s->declType = Scalar::i32;
+        s->size = 16;
+        return s;
+      case StmtKind::adapterDecl:
+        s->slot = 2;
+        s->adapter = AdapterKind::readIt;
+        s->size = 64;
+        s->dram = 0;
+        s->value = makeIntConst(0);
+        return s;
+      case StmtKind::assign:
+        s->slot = 0;
+        s->value = makeIntConst(5);
+        return s;
+      case StmtKind::storeIndexed:
+        s->slot = 1;
+        s->index = makeIntConst(2);
+        s->value = makeIntConst(9);
+        return s;
+      case StmtKind::storeDeref:
+        s->slot = 2;
+        s->value = makeIntConst(1);
+        return s;
+      case StmtKind::itAdvance:
+        s->slot = 2;
+        s->index = makeIntConst(1);
+        return s;
+      case StmtKind::exprStmt:
+        s->value = exprOfKind(ExprKind::atomicRmw);
+        return s;
+      case StmtKind::ifStmt:
+        s->value = makeIntConst(1);
+        s->body.push_back(stmtOfKind(StmtKind::exitStmt));
+        s->other.push_back(stmtOfKind(StmtKind::returnStmt));
+        return s;
+      case StmtKind::whileStmt:
+        s->value = makeIntConst(1);
+        s->body.push_back(stmtOfKind(StmtKind::exitStmt));
+        return s;
+      case StmtKind::foreachStmt:
+        s->value = makeIntConst(8);
+        s->extra = makeIntConst(2);
+        s->ivSlot = 0;
+        s->resultSlot = 0;
+        s->body.push_back(stmtOfKind(StmtKind::exitStmt));
+        return s;
+      case StmtKind::replicateStmt:
+        s->replicas = 4;
+        s->body.push_back(stmtOfKind(StmtKind::exitStmt));
+        return s;
+      case StmtKind::returnStmt:
+        s->value = makeIntConst(0);
+        return s;
+      case StmtKind::exitStmt:
+        return s;
+      case StmtKind::flushStmt:
+        s->slot = 2;
+        return s;
+      case StmtKind::pragmaStmt:
+        s->name = "eliminate_hierarchy";
+        return s;
+    }
+    return s;
+}
+
+constexpr ExprKind allExprKinds[] = {
+    ExprKind::intConst,  ExprKind::varRef,   ExprKind::unary,
+    ExprKind::binary,    ExprKind::cond,     ExprKind::cast,
+    ExprKind::indexRead, ExprKind::derefIt,  ExprKind::peekIt,
+    ExprKind::forkExpr,  ExprKind::call,     ExprKind::atomicRmw,
+};
+
+constexpr StmtKind allStmtKinds[] = {
+    StmtKind::block,         StmtKind::varDecl,
+    StmtKind::sramDecl,      StmtKind::adapterDecl,
+    StmtKind::assign,        StmtKind::storeIndexed,
+    StmtKind::storeDeref,    StmtKind::itAdvance,
+    StmtKind::exprStmt,      StmtKind::ifStmt,
+    StmtKind::whileStmt,     StmtKind::foreachStmt,
+    StmtKind::replicateStmt, StmtKind::returnStmt,
+    StmtKind::exitStmt,      StmtKind::flushStmt,
+    StmtKind::pragmaStmt,
+};
+
+} // namespace
+
+TEST(AstDump, EveryExprKindRendersNonEmpty)
+{
+    Function fn = dumpFixture();
+    for (ExprKind kind : allExprKinds) {
+        ExprPtr e = exprOfKind(kind);
+        ASSERT_TRUE(e) << "factory missing ExprKind "
+                       << static_cast<int>(kind);
+        EXPECT_FALSE(dump(*e, fn).empty())
+            << "dump() empty for ExprKind " << static_cast<int>(kind);
+    }
+}
+
+TEST(AstDump, EveryStmtKindRendersNonEmpty)
+{
+    Function fn = dumpFixture();
+    for (StmtKind kind : allStmtKinds) {
+        StmtPtr s = stmtOfKind(kind);
+        ASSERT_TRUE(s) << "factory missing StmtKind "
+                       << static_cast<int>(kind);
+        EXPECT_FALSE(dump(*s, fn, 0).empty())
+            << "dump() empty for StmtKind " << static_cast<int>(kind);
+    }
+}
+
+TEST(AstDump, AtomicRmwRendersAsFetchCall)
+{
+    Function fn = dumpFixture();
+    ExprPtr add = exprOfKind(ExprKind::atomicRmw);
+    EXPECT_EQ(dump(*add, fn), "fetch_add(acc#1[0], 1)");
+
+    ExprPtr sub = exprOfKind(ExprKind::atomicRmw);
+    sub->bop = BinOp::sub;
+    EXPECT_EQ(dump(*sub, fn), "fetch_sub(acc#1[0], 1)");
+}
+
+TEST(AstDump, ExprStmtRendersWithIndentAndSemicolon)
+{
+    Function fn = dumpFixture();
+    StmtPtr s = stmtOfKind(StmtKind::exprStmt);
+    EXPECT_EQ(dump(*s, fn, 2), "    fetch_add(acc#1[0], 1);\n");
+}
+
+TEST(AstDump, ExprStmtSurvivesInFunctionDump)
+{
+    Function fn = dumpFixture();
+    auto body = std::make_unique<Stmt>();
+    body->kind = StmtKind::block;
+    body->body.push_back(stmtOfKind(StmtKind::exprStmt));
+    fn.bodyStmt = std::move(body);
+    std::string text = dump(fn);
+    EXPECT_NE(text.find("fetch_add(acc#1[0], 1);"), std::string::npos)
+        << text;
+}
