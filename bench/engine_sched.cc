@@ -1,0 +1,224 @@
+/**
+ * @file
+ * A/B comparison of the dataflow engine's scheduling policies.
+ *
+ * Two topologies, both run under Policy::roundRobin and
+ * Policy::worklist with identical graphs and inputs:
+ *
+ *  - deep: one dense 64-stage pipeline over unbounded channels. Every
+ *    stage is busy every round, so this bounds the worklist's
+ *    bookkeeping overhead on graphs where round-robin is already good.
+ *
+ *  - sparse: a load-balance region array — 64 replicated 64-stage
+ *    pipelines over capacity-1 channels with all input skewed onto
+ *    replica 0 (the pathological skew the Figure 14 allocator model
+ *    studies). Round-robin rescans ~4k idle primitives per round;
+ *    the worklist only steps the active chain.
+ *
+ * The bench asserts both policies produce identical sink streams and
+ * identical useful work (quanta), and that the worklist is >= 2x
+ * faster on the sparse topology (the ISSUE 2 acceptance bar). Exits
+ * non-zero on violation so CI can run it as a guardrail.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.hh"
+#include "sltf/codec.hh"
+
+using namespace revet::dataflow;
+using revet::sltf::StreamBuilder;
+using revet::sltf::Word;
+
+namespace
+{
+
+struct RunResult
+{
+    double ms = 0;
+    uint64_t checksum = 0;
+    uint64_t collected = 0;
+    SchedStats sched;
+    bool drained = false;
+};
+
+revet::sltf::TokenStream
+inputStream(int tokens)
+{
+    StreamBuilder sb;
+    for (int i = 0; i < tokens; ++i)
+        sb.d(static_cast<Word>(i));
+    sb.b(1);
+    return sb;
+}
+
+/** Append a @p stages-deep chain of +1 ElementWise stages to @p eng. */
+Sink *
+buildChain(Engine &eng, Channel *head, const std::string &prefix,
+           int stages, size_t capacity)
+{
+    Channel *cur = head;
+    for (int s = 0; s < stages; ++s) {
+        Channel *next =
+            eng.channel(prefix + ".s" + std::to_string(s), capacity);
+        eng.make<ElementWise>(
+            prefix + ".ew" + std::to_string(s), Bundle{cur},
+            Bundle{next},
+            [](const std::vector<Word> &in, std::vector<Word> &out) {
+                out.push_back(in[0] + 1);
+            });
+        cur = next;
+    }
+    return eng.make<Sink>(prefix + ".sink", cur);
+}
+
+RunResult
+runDeep(Engine::Policy policy, int stages, int tokens)
+{
+    Engine eng(policy);
+    Channel *head = eng.channel("deep.in");
+    eng.make<Source>("deep.src", head, inputStream(tokens));
+    Sink *sink = buildChain(eng, head, "deep", stages,
+                            Channel::unbounded);
+    auto t0 = std::chrono::steady_clock::now();
+    eng.run();
+    auto t1 = std::chrono::steady_clock::now();
+    RunResult out;
+    out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (const auto &tok : sink->collected())
+        out.checksum = out.checksum * 31 +
+            (tok.isData() ? tok.word() : 0x80000000u + tok.barrierLevel());
+    out.collected = sink->collected().size();
+    out.sched = eng.schedStats();
+    out.drained = eng.drained();
+    return out;
+}
+
+RunResult
+runSparse(Engine::Policy policy, int replicas, int stages, int tokens)
+{
+    Engine eng(policy);
+    Sink *sink = nullptr;
+    for (int r = 0; r < replicas; ++r) {
+        const std::string prefix = "rgn" + std::to_string(r);
+        // Capacity-1 channels model the per-stage input buffers of the
+        // region array; only region 0 receives work (full skew).
+        Channel *head = eng.channel(prefix + ".in", 1);
+        if (r == 0)
+            eng.make<Source>(prefix + ".src", head,
+                             inputStream(tokens));
+        Sink *s = buildChain(eng, head, prefix, stages, 1);
+        if (r == 0)
+            sink = s;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    eng.run();
+    auto t1 = std::chrono::steady_clock::now();
+    RunResult out;
+    out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (const auto &tok : sink->collected())
+        out.checksum = out.checksum * 31 +
+            (tok.isData() ? tok.word() : 0x80000000u + tok.barrierLevel());
+    out.collected = sink->collected().size();
+    out.sched = eng.schedStats();
+    out.drained = eng.drained();
+    return out;
+}
+
+void
+printRow(const char *policy, const RunResult &r)
+{
+    std::printf(
+        "  %-10s %9.2f ms  rounds=%-8llu steps=%-9llu idle=%-9llu "
+        "wakeups=%-8llu skipped=%-10llu verify=%llu\n",
+        policy, r.ms,
+        static_cast<unsigned long long>(r.sched.rounds),
+        static_cast<unsigned long long>(r.sched.steps),
+        static_cast<unsigned long long>(r.sched.idleSteps),
+        static_cast<unsigned long long>(r.sched.wakeups),
+        static_cast<unsigned long long>(r.sched.stepsSkipped),
+        static_cast<unsigned long long>(r.sched.verifyPasses));
+}
+
+bool
+checkIdentical(const char *label, const RunResult &rr,
+               const RunResult &wl)
+{
+    bool ok = true;
+    if (!rr.drained || !wl.drained) {
+        std::printf("  FAIL(%s): engine did not drain\n", label);
+        ok = false;
+    }
+    if (rr.checksum != wl.checksum || rr.collected != wl.collected) {
+        std::printf("  FAIL(%s): sink streams diverged between "
+                    "policies\n",
+                    label);
+        ok = false;
+    }
+    if (rr.sched.quanta != wl.sched.quanta) {
+        std::printf("  FAIL(%s): useful work diverged (%llu vs %llu "
+                    "quanta)\n",
+                    label,
+                    static_cast<unsigned long long>(rr.sched.quanta),
+                    static_cast<unsigned long long>(wl.sched.quanta));
+        ok = false;
+    }
+    if (wl.sched.missedWakeups != 0) {
+        std::printf("  FAIL(%s): worklist missed %llu wakeups\n", label,
+                    static_cast<unsigned long long>(
+                        wl.sched.missedWakeups));
+        ok = false;
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int stages = 64;
+    constexpr int replicas = 64;
+    constexpr int deep_tokens = 1 << 17;
+    constexpr int sparse_tokens = 5000;
+    bool ok = true;
+
+    std::printf("engine_sched: dense 64-stage pipeline, %d tokens, "
+                "unbounded channels\n",
+                deep_tokens);
+    RunResult deep_rr = runDeep(Engine::Policy::roundRobin, stages,
+                                deep_tokens);
+    RunResult deep_wl = runDeep(Engine::Policy::worklist, stages,
+                                deep_tokens);
+    printRow("roundRobin", deep_rr);
+    printRow("worklist", deep_wl);
+    std::printf("  worklist speedup: %.2fx (dense — parity expected)\n",
+                deep_rr.ms / deep_wl.ms);
+    ok &= checkIdentical("deep", deep_rr, deep_wl);
+
+    std::printf("\nengine_sched: sparse load-balance array, %d x "
+                "%d-stage regions, all %d tokens skewed to region 0, "
+                "capacity-1 channels\n",
+                replicas, stages, sparse_tokens);
+    RunResult sparse_rr = runSparse(Engine::Policy::roundRobin,
+                                    replicas, stages, sparse_tokens);
+    RunResult sparse_wl = runSparse(Engine::Policy::worklist, replicas,
+                                    stages, sparse_tokens);
+    printRow("roundRobin", sparse_rr);
+    printRow("worklist", sparse_wl);
+    double speedup = sparse_rr.ms / sparse_wl.ms;
+    std::printf("  worklist speedup: %.2fx (>= 2x required)\n", speedup);
+    ok &= checkIdentical("sparse", sparse_rr, sparse_wl);
+    if (speedup < 2.0) {
+        std::printf("  FAIL(sparse): worklist speedup %.2fx below the "
+                    "2x acceptance bar\n",
+                    speedup);
+        ok = false;
+    }
+
+    return ok ? 0 : 1;
+}

@@ -75,6 +75,51 @@ BM_EngineReducePipeline(benchmark::State &state)
 }
 BENCHMARK(BM_EngineReducePipeline)->Arg(100)->Arg(1000);
 
+/**
+ * Scheduler policy A/B on a skewed region array: 16 replicated 8-stage
+ * pipelines, all tokens routed to replica 0 (see bench_engine_sched
+ * for the full 64x64 comparison with pass/fail gating). Arg 0 =
+ * roundRobin, 1 = worklist.
+ */
+static void
+BM_EngineSchedSkewed(benchmark::State &state)
+{
+    const auto policy = state.range(0) == 0
+                            ? dataflow::Engine::Policy::roundRobin
+                            : dataflow::Engine::Policy::worklist;
+    for (auto _ : state) {
+        dataflow::Engine e(policy);
+        dataflow::Sink *sink = nullptr;
+        for (int rep = 0; rep < 16; ++rep) {
+            auto *cur = e.channel("in" + std::to_string(rep), 1);
+            if (rep == 0) {
+                e.make<dataflow::Source>("src", cur,
+                                         bigStream(64, 16));
+            }
+            for (int s = 0; s < 8; ++s) {
+                auto *next = e.channel(
+                    "c" + std::to_string(rep) + "_" + std::to_string(s),
+                    1);
+                e.make<dataflow::ElementWise>(
+                    "ew", dataflow::Bundle{cur},
+                    dataflow::Bundle{next},
+                    [](const std::vector<sltf::Word> &in,
+                       std::vector<sltf::Word> &out) {
+                        out.push_back(in[0] + 1);
+                    });
+                cur = next;
+            }
+            auto *snk = e.make<dataflow::Sink>("sink", cur);
+            if (rep == 0)
+                sink = snk;
+        }
+        e.run();
+        benchmark::DoNotOptimize(sink->collected());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 17);
+}
+BENCHMARK(BM_EngineSchedSkewed)->Arg(0)->Arg(1);
+
 static void
 BM_CompileStrlen(benchmark::State &state)
 {

@@ -2,11 +2,18 @@
 # Tier-1 verification for the Revet repo.
 #
 # Default mode runs the full pipeline from a clean tree:
-#   configure (with -Werror and compile_commands.json export),
+#   configure (with -Werror, compile_commands.json export, and the
+#   bench/ targets enabled so they cannot bit-rot unbuilt),
 #   build everything, run every CTest case.
 #
 #   ./scripts/check.sh [BUILD_DIR]                   # full pipeline (default: build)
+#   ./scripts/check.sh --sanitize [BUILD_DIR]        # ASan+UBSan pipeline (default: build-asan)
 #   ./scripts/check.sh --smoke BUILD_DIR [SUITE...]  # validate an existing build
+#
+# --sanitize runs the same configure/build/test pipeline with the
+# REVET_SANITIZE preset (-fsanitize=address,undefined, no recovery) in
+# a separate build directory, so an instrumented tree never mixes
+# objects with the regular one.
 #
 # --smoke is registered with CTest as `tooling.check_smoke`: it asserts
 # that the configured tree exported compile_commands.json and produced
@@ -59,22 +66,36 @@ if [[ "${1:-}" == "--smoke" ]]; then
     exit 0
 fi
 
-build_dir="${1:-$repo_root/build}"
+sanitize=OFF
+if [[ "${1:-}" == "--sanitize" ]]; then
+    sanitize=ON
+    shift
+    build_dir="${1:-$repo_root/build-asan}"
+else
+    build_dir="${1:-$repo_root/build}"
+fi
 # Absolute path: cmake would resolve a relative dir against $PWD, but
 # the compile_commands.json symlink below resolves against $repo_root.
 mkdir -p "$build_dir"
 build_dir="$(cd "$build_dir" && pwd)"
 
-echo "== configure ($build_dir)"
+echo "== configure ($build_dir, sanitize=$sanitize)"
 cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DREVET_WERROR=ON
+    -DREVET_WERROR=ON \
+    -DREVET_BUILD_BENCH=ON \
+    -DREVET_SANITIZE="$sanitize"
 
 echo "== build"
 cmake --build "$build_dir" -j "$(nproc)"
 
 echo "== test"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+if [[ "$sanitize" == ON ]]; then
+    echo "== check.sh: all green (ASan+UBSan)"
+    exit 0
+fi
 
 # Keep a repo-root symlink so clangd/clang-tidy pick the database up.
 ln -sf "$build_dir/compile_commands.json" "$repo_root/compile_commands.json" || true

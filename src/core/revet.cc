@@ -27,9 +27,11 @@ CompiledProgram::interpret(lang::DramImage &dram,
 
 graph::ExecStats
 CompiledProgram::execute(lang::DramImage &dram,
-                         const std::vector<int32_t> &args) const
+                         const std::vector<int32_t> &args,
+                         dataflow::Engine::Policy policy) const
 {
-    return graph::execute(dfg_, dram, args);
+    return graph::execute(dfg_, dram, args,
+                          dataflow::Engine::defaultMaxRounds, policy);
 }
 
 } // namespace revet

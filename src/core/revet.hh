@@ -61,9 +61,13 @@ class CompiledProgram
     interp::RunStats interpret(lang::DramImage &dram,
                                const std::vector<int32_t> &args) const;
 
-    /** Run the compiled dataflow graph functionally. */
+    /** Run the compiled dataflow graph functionally. The scheduling
+     * policy is observable only through stats/perf counters, never
+     * through results (see dataflow/engine.hh). */
     graph::ExecStats execute(lang::DramImage &dram,
-                             const std::vector<int32_t> &args) const;
+                             const std::vector<int32_t> &args,
+                             dataflow::Engine::Policy policy =
+                                 dataflow::Engine::Policy::worklist) const;
 
   private:
     CompiledProgram() = default;

@@ -2,10 +2,44 @@
 
 #include <stdexcept>
 
+#include "dataflow/engine.hh"
+
 namespace revet
 {
 namespace dataflow
 {
+
+void
+Channel::push(const Token &tok)
+{
+    if (fifo_.size() >= capacity_) {
+        throw std::runtime_error(
+            "channel '" + (name_.empty() ? std::string("?") : name_) +
+            "' overflow: push on a full bounded channel (capacity " +
+            std::to_string(capacity_) + ") — missing canPush() guard");
+    }
+    const bool was_empty = fifo_.empty();
+    fifo_.push_back(tok);
+    ++total_pushed_;
+    if (engine_ && was_empty)
+        engine_->onTokenAvailable(this);
+}
+
+Token
+Channel::pop()
+{
+    if (fifo_.empty()) {
+        throw std::runtime_error(
+            "channel '" + (name_.empty() ? std::string("?") : name_) +
+            "' underflow: pop on an empty channel");
+    }
+    const bool was_full = fifo_.size() == capacity_;
+    Token tok = fifo_.front();
+    fifo_.pop_front();
+    if (engine_ && was_full)
+        engine_->onSpaceAvailable(this);
+    return tok;
+}
 
 bool
 allHaveToken(const Bundle &bundle)

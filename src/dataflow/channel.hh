@@ -5,7 +5,17 @@
  * A Channel carries Tokens from one producer to one consumer in FIFO
  * order (the vRDA network guarantees exactly-once, in-order delivery).
  * Channels default to unbounded (functional semantics); the cycle
- * simulator bounds them to model finite input buffers.
+ * simulator bounds them to model finite input buffers. Pushing onto a
+ * full bounded channel throws: primitives must guard with canPush(),
+ * and a missing guard is a machine-model violation, not silent growth.
+ *
+ * Channels created through Engine::channel() carry back-references to
+ * their producer and consumer Process (filled in when the process is
+ * registered) and notify the engine's worklist scheduler on readiness
+ * transitions: empty -> non-empty wakes the consumer, full -> non-full
+ * wakes the producer. Primitives only ever examine channel heads,
+ * emptiness, and free capacity, so these two edges are exactly the
+ * events that can turn a blocked process runnable.
  *
  * A Bundle is a set of channels that move one thread's live values
  * together: primitives that reorder threads (merges, filters) operate on
@@ -32,6 +42,9 @@ using sltf::Token;
 using sltf::TokenStream;
 using sltf::Word;
 
+class Engine;
+class Process;
+
 /** One on-chip link: a FIFO of SLTF tokens with optional capacity. */
 class Channel
 {
@@ -52,12 +65,11 @@ class Channel
 
     bool canPush() const { return fifo_.size() < capacity_; }
 
-    void
-    push(const Token &tok)
-    {
-        fifo_.push_back(tok);
-        ++total_pushed_;
-    }
+    /**
+     * Append @p tok. @throws std::runtime_error when the channel is
+     * already at capacity — the caller forgot a canPush() guard.
+     */
+    void push(const Token &tok);
 
     /** Push every token of @p stream (unbounded use only). */
     void
@@ -69,13 +81,11 @@ class Channel
 
     const Token &front() const { return fifo_.front(); }
 
-    Token
-    pop()
-    {
-        Token tok = fifo_.front();
-        fifo_.pop_front();
-        return tok;
-    }
+    /**
+     * Remove and return the head token.
+     * @throws std::runtime_error on an empty channel.
+     */
+    Token pop();
 
     /** Lifetime token count, for stats and link-bandwidth analysis. */
     uint64_t totalPushed() const { return total_pushed_; }
@@ -89,11 +99,24 @@ class Channel
         return out;
     }
 
+    /** The process that pushes into this channel (may be null). */
+    Process *producer() const { return producer_; }
+    /** The process that pops from this channel (may be null). */
+    Process *consumer() const { return consumer_; }
+
+    /** Scheduler wiring — called by Engine at registration time. */
+    void bindEngine(Engine *engine) { engine_ = engine; }
+    void setProducer(Process *p) { producer_ = p; }
+    void setConsumer(Process *p) { consumer_ = p; }
+
   private:
     std::string name_;
     size_t capacity_;
     std::deque<Token> fifo_;
     uint64_t total_pushed_ = 0;
+    Engine *engine_ = nullptr;
+    Process *producer_ = nullptr;
+    Process *consumer_ = nullptr;
 };
 
 /** A group of channels carrying one thread's live values in lockstep. */

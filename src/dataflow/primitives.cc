@@ -1,11 +1,107 @@
 #include "dataflow/primitives.hh"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace revet
 {
 namespace dataflow
 {
+
+// Note on backpressure: Channel::push throws on a full bounded channel,
+// so every push site below must be (and is) preceded by a canPush() /
+// allCanPush() guard on the same scheduler quantum.
+
+bool
+Process::idle() const
+{
+    for (const Channel *ch : inputs()) {
+        if (!ch->empty())
+            return false;
+    }
+    return true;
+}
+
+std::string
+Process::ioStallDetail() const
+{
+    std::ostringstream oss;
+    bool starved = false;
+    for (const Channel *ch : inputs()) {
+        if (ch->empty()) {
+            oss << (starved ? " " : "starved inputs:[");
+            oss << (ch->name().empty() ? "?" : ch->name());
+            starved = true;
+        }
+    }
+    if (starved)
+        oss << "]";
+    bool full = false;
+    for (const Channel *ch : outputs()) {
+        if (!ch->canPush()) {
+            oss << (full ? " " : (starved ? "; full outputs:[" :
+                                            "full outputs:["));
+            oss << (ch->name().empty() ? "?" : ch->name());
+            full = true;
+        }
+    }
+    if (full)
+        oss << "]";
+    if (!starved && !full)
+        oss << "internally blocked";
+    return oss.str();
+}
+
+std::string
+Process::stallReason() const
+{
+    return name_ + ": " + ioStallDetail();
+}
+
+std::string
+Source::stallReason() const
+{
+    return name() + ": " + std::to_string(stream_.size() - pos_) +
+           " tokens pending; " + ioStallDetail();
+}
+
+bool
+Counter::idle() const
+{
+    return mode_ == Mode::idle && Process::idle();
+}
+
+std::string
+Counter::stallReason() const
+{
+    const char *mode = mode_ == Mode::idle  ? "idle"
+                       : mode_ == Mode::run ? "run"
+                                            : "term";
+    return name() + ": mode=" + mode + "; " + ioStallDetail();
+}
+
+bool
+FwdBackMerge::idle() const
+{
+    return mode_ == Mode::flow && pending_echoes_.empty() &&
+           Process::idle();
+}
+
+std::string
+FwdBackMerge::stallReason() const
+{
+    std::ostringstream oss;
+    oss << name() << ": mode="
+        << (mode_ == Mode::flow ? "flow" : "drain");
+    if (mode_ == Mode::drain)
+        oss << " (forward input stalled, draining backedge toward B"
+            << pending_level_ + 1 << ")";
+    if (!pending_echoes_.empty())
+        oss << " awaiting " << pending_echoes_.size()
+            << " backedge echo(es) of B" << pending_echoes_.front();
+    oss << "; " << ioStallDetail();
+    return oss.str();
+}
 
 bool
 Source::stepOnce()
@@ -171,6 +267,7 @@ Reduce::stepOnce()
     const Token &head = in_->front();
     if (head.isData()) {
         acc_ = fn_(acc_, head.word());
+        in_group_ = true;
         in_->pop();
         return true;
     }
@@ -181,10 +278,27 @@ Reduce::stepOnce()
     if (j == 1) {
         out_->push(Token::data(acc_));
         acc_ = init_;
+        in_group_ = false;
     } else {
         out_->push(Token::barrier(j - 1));
     }
     return true;
+}
+
+bool
+Reduce::idle() const
+{
+    return !in_group_ && Process::idle();
+}
+
+std::string
+Reduce::stallReason() const
+{
+    std::string detail = ioStallDetail();
+    if (in_group_)
+        detail = "partial reduction buffered (awaiting the group's "
+                 "closing barrier); " + detail;
+    return name() + ": " + detail;
 }
 
 bool
@@ -282,40 +396,44 @@ FwdBackMerge::stepOnce()
         return true;
 
     if (mode_ == Mode::flow) {
-        if (allHaveToken(fwd_)) {
-            int kind = bundleHeadKind(fwd_);
-            if (kind == 0) {
-                if (allCanPush(outs_)) {
-                    pushBundle(outs_, popBundle(fwd_));
-                    return true;
-                }
-            } else {
-                // A forward barrier: flush the loop. Terminate the batch
-                // with the loop-control Omega(1) and drain.
-                if (allCanPush(outs_)) {
-                    popBundle(fwd_);
-                    pushBarrier(outs_, 1);
-                    pending_level_ = kind;
-                    back_data_since_barrier_ = false;
-                    mode_ = Mode::drain;
-                    return true;
-                }
-            }
-        }
-        // Recirculating threads keep flowing while the loop free-runs.
+        // Only the forward input flows before the flush. Recirculating
+        // threads wait in the backedge channel for the drain phase, so
+        // the batch structure — and therefore every link's token count
+        // — is a function of the input streams alone, independent of
+        // scheduling order. The hardware merge free-runs eagerly
+        // (recirculators re-enter mid-batch), which only improves
+        // pipelining; admitting them here would make link traffic
+        // schedule-dependent and break scheduler translation
+        // validation. Revisit when channels model finite loop buffers.
+        //
+        // The only legitimate backedge barrier outside a flush is the
+        // pending echo (tryConsumeEcho above swallows it when it is at
+        // the head); anything else means a miswired loop, and waiting
+        // for the drain would silently misread it as a batch limit.
         if (allHaveToken(back_)) {
-            int kind = bundleHeadKind(back_);
-            if (kind != 0) {
+            int bk = bundleHeadKind(back_);
+            if (bk != 0 && (pending_echoes_.empty() ||
+                            bk != pending_echoes_.front())) {
                 throw std::runtime_error(
                     name() + ": unexpected backedge barrier B" +
-                    std::to_string(kind) + " outside a flush");
-            }
-            if (allCanPush(outs_)) {
-                pushBundle(outs_, popBundle(back_));
-                return true;
+                    std::to_string(bk) + " outside a flush");
             }
         }
-        return false;
+        if (!allHaveToken(fwd_) || !allCanPush(outs_))
+            return false;
+        int kind = bundleHeadKind(fwd_);
+        if (kind == 0) {
+            pushBundle(outs_, popBundle(fwd_));
+            return true;
+        }
+        // A forward barrier: flush the loop. Terminate the batch with
+        // the loop-control Omega(1) and drain.
+        popBundle(fwd_);
+        pushBarrier(outs_, 1);
+        pending_level_ = kind;
+        back_data_since_barrier_ = false;
+        mode_ = Mode::drain;
+        return true;
     }
 
     // Mode::drain: the forward input is stalled; iterate the body dry.

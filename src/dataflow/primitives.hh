@@ -13,6 +13,12 @@
  * quantum of work and never consumes an input token unless the resulting
  * outputs can be pushed — so the same objects run under the unbounded
  * functional engine and the bounded-buffer cycle simulator.
+ *
+ * Every primitive declares its input and output channels to the base
+ * class (declareIo) at construction. The Engine uses the declaration to
+ * wire channel back-references for the worklist scheduler, and the base
+ * class uses it for generic stall diagnostics: a blocked primitive can
+ * say which inputs it is starved on and which outputs are full.
  */
 
 #ifndef REVET_DATAFLOW_PRIMITIVES_HH
@@ -44,27 +50,67 @@ class Process
      */
     virtual bool stepOnce() = 0;
 
-    /** Run up to @p burst quanta; returns true if any progressed. */
-    bool
-    step(int burst)
+    /**
+     * Run up to @p burst quanta; returns the number completed. A return
+     * value less than @p burst means the primitive blocked (its next
+     * stepOnce() would make no progress until a channel event wakes it).
+     */
+    int
+    runQuanta(int burst)
     {
-        bool any = false;
+        int done = 0;
         try {
-            for (int i = 0; i < burst; ++i) {
-                if (!stepOnce())
-                    break;
-                any = true;
-            }
+            while (done < burst && stepOnce())
+                ++done;
         } catch (const std::runtime_error &err) {
             throw std::runtime_error("[" + name_ + "] " + err.what());
         }
-        return any;
+        return done;
     }
 
     const std::string &name() const { return name_; }
 
+    /** Channels this primitive pops from, as declared at construction. */
+    const std::vector<Channel *> &inputs() const { return io_ins_; }
+    /** Channels this primitive pushes to, as declared at construction. */
+    const std::vector<Channel *> &outputs() const { return io_outs_; }
+
+    /**
+     * True when this primitive is quiescent by design: nothing pending
+     * on its inputs and no buffered internal state. A non-idle primitive
+     * that cannot step is stalled and shows up in Engine::stallReport().
+     * The default checks declared inputs only; primitives with internal
+     * state (Source, Counter, FwdBackMerge, Reduce) override.
+     */
+    virtual bool idle() const;
+
+    /**
+     * One-line diagnosis of why this primitive cannot currently step.
+     * The default derives it from the declared channels (starved inputs,
+     * full outputs); stateful primitives append their mode.
+     */
+    virtual std::string stallReason() const;
+
+  protected:
+    /** Record the channel sets this primitive reads and writes. */
+    void
+    declareIo(std::vector<Channel *> ins, std::vector<Channel *> outs)
+    {
+        io_ins_ = std::move(ins);
+        io_outs_ = std::move(outs);
+    }
+
+    /** Channel-derived stall description, for overrides to extend. */
+    std::string ioStallDetail() const;
+
   private:
+    friend class Engine;
+
     std::string name_;
+    std::vector<Channel *> io_ins_;
+    std::vector<Channel *> io_outs_;
+    /** Index into the owning engine's scheduler bitmap. */
+    size_t sched_id_ = static_cast<size_t>(-1);
 };
 
 /** Injects a fixed token stream into a channel. */
@@ -73,10 +119,14 @@ class Source : public Process
   public:
     Source(std::string name, Channel *out, TokenStream stream)
         : Process(std::move(name)), out_(out), stream_(std::move(stream))
-    {}
+    {
+        declareIo({}, {out_});
+    }
 
     bool stepOnce() override;
     bool done() const { return pos_ == stream_.size(); }
+    bool idle() const override { return done(); }
+    std::string stallReason() const override;
 
   private:
     Channel *out_;
@@ -89,7 +139,9 @@ class Sink : public Process
 {
   public:
     Sink(std::string name, Channel *in) : Process(std::move(name)), in_(in)
-    {}
+    {
+        declareIo({in_}, {});
+    }
 
     bool stepOnce() override;
     const TokenStream &collected() const { return collected_; }
@@ -105,7 +157,9 @@ class Fanout : public Process
   public:
     Fanout(std::string name, Channel *in, std::vector<Channel *> outs)
         : Process(std::move(name)), in_(in), outs_(std::move(outs))
-    {}
+    {
+        declareIo({in_}, outs_);
+    }
 
     bool stepOnce() override;
 
@@ -131,7 +185,9 @@ class ElementWise : public Process
     ElementWise(std::string name, Bundle ins, Bundle outs, LaneFn fn)
         : Process(std::move(name)), ins_(std::move(ins)),
           outs_(std::move(outs)), fn_(std::move(fn))
-    {}
+    {
+        declareIo(ins_, outs_);
+    }
 
     bool stepOnce() override;
 
@@ -155,7 +211,9 @@ class Broadcast : public Process
               Channel *out, int level = 1)
         : Process(std::move(name)), deep_(deep), shallow_(shallow),
           out_(out), level_(level)
-    {}
+    {
+        declareIo({deep_, shallow_}, {out_});
+    }
 
     bool stepOnce() override;
 
@@ -179,9 +237,13 @@ class Counter : public Process
             Channel *out)
         : Process(std::move(name)), min_(min), max_(max), step_(step),
           out_(out)
-    {}
+    {
+        declareIo({min_, max_, step_}, {out_});
+    }
 
     bool stepOnce() override;
+    bool idle() const override;
+    std::string stallReason() const override;
 
   private:
     enum class Mode { idle, run, term };
@@ -211,9 +273,13 @@ class Reduce : public Process
            Word init)
         : Process(std::move(name)), in_(in), out_(out), fn_(std::move(fn)),
           init_(init), acc_(init)
-    {}
+    {
+        declareIo({in_}, {out_});
+    }
 
     bool stepOnce() override;
+    bool idle() const override;
+    std::string stallReason() const override;
 
   private:
     Channel *in_;
@@ -221,6 +287,9 @@ class Reduce : public Process
     ReduceFn fn_;
     Word init_;
     Word acc_;
+    /** True while data has been folded into acc_ but the group's
+     * closing barrier has not arrived. */
+    bool in_group_ = false;
 };
 
 /**
@@ -233,7 +302,9 @@ class Flatten : public Process
   public:
     Flatten(std::string name, Channel *in, Channel *out)
         : Process(std::move(name)), in_(in), out_(out)
-    {}
+    {
+        declareIo({in_}, {out_});
+    }
 
     bool stepOnce() override;
 
@@ -255,7 +326,11 @@ class Filter : public Process
            bool sense = true)
         : Process(std::move(name)), pred_(pred), ins_(std::move(ins)),
           outs_(std::move(outs)), sense_(sense)
-    {}
+    {
+        std::vector<Channel *> all_ins{pred_};
+        all_ins.insert(all_ins.end(), ins_.begin(), ins_.end());
+        declareIo(std::move(all_ins), outs_);
+    }
 
     bool stepOnce() override;
 
@@ -279,7 +354,11 @@ class ForwardMerge : public Process
     ForwardMerge(std::string name, Bundle a, Bundle b, Bundle outs)
         : Process(std::move(name)), a_(std::move(a)), b_(std::move(b)),
           outs_(std::move(outs))
-    {}
+    {
+        std::vector<Channel *> all_ins(a_);
+        all_ins.insert(all_ins.end(), b_.begin(), b_.end());
+        declareIo(std::move(all_ins), outs_);
+    }
 
     bool stepOnce() override;
 
@@ -292,7 +371,15 @@ class ForwardMerge : public Process
 /**
  * Forward-backward merge: the while-loop header (Section III-B(d)).
  *
- * Free-running until a forward barrier Omega(k) arrives; then the merge
+ * Batching is deterministic: before the flush only the forward input
+ * flows (recirculating threads wait in the backedge for the drain
+ * phase), so batch structure and link traffic depend only on the input
+ * streams, never on scheduling order — the property the scheduler
+ * equivalence suite certifies. The hardware merge additionally
+ * free-runs recirculators into the current batch, which overlaps
+ * iterations but cannot change results.
+ *
+ * Forward data flows until a forward barrier Omega(k) arrives; then the merge
  * emits the loop-control Omega(1), stalls the forward input, and drains:
  * every backedge group that still contains threads is passed through and
  * re-terminated with Omega(1); a backedge group that arrives empty means
@@ -307,9 +394,15 @@ class FwdBackMerge : public Process
     FwdBackMerge(std::string name, Bundle fwd, Bundle back, Bundle outs)
         : Process(std::move(name)), fwd_(std::move(fwd)),
           back_(std::move(back)), outs_(std::move(outs))
-    {}
+    {
+        std::vector<Channel *> all_ins(fwd_);
+        all_ins.insert(all_ins.end(), back_.begin(), back_.end());
+        declareIo(std::move(all_ins), outs_);
+    }
 
     bool stepOnce() override;
+    bool idle() const override;
+    std::string stallReason() const override;
 
   private:
     enum class Mode { flow, drain };

@@ -14,6 +14,7 @@
 #define REVET_GRAPH_DFG_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -135,7 +136,11 @@ struct ReplicateInfo
 
 struct Dfg
 {
-    std::vector<Node> nodes;
+    // Deque, not vector: lowering holds `Node &` references from
+    // newNode() across calls that create further nodes (e.g. the
+    // while-join merge across flattenLink), so node storage must never
+    // relocate. Links are only ever addressed by id.
+    std::deque<Node> nodes;
     std::vector<Link> links;
     std::vector<ReplicateInfo> replicates;
 

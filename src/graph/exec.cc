@@ -140,13 +140,14 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
 
 ExecStats
 execute(const Dfg &dfg, lang::DramImage &dram,
-        const std::vector<int32_t> &args, uint64_t max_rounds)
+        const std::vector<int32_t> &args, uint64_t max_rounds,
+        dataflow::Engine::Policy policy)
 {
     ExecStats stats;
     auto mem = std::make_shared<MachineMemory>(
         MachineMemory{dram, {}, stats});
 
-    dataflow::Engine engine;
+    dataflow::Engine engine(policy);
     std::vector<Channel *> chans(dfg.links.size(), nullptr);
     for (const auto &link : dfg.links)
         chans[link.id] = engine.channel(link.name);
@@ -262,6 +263,12 @@ execute(const Dfg &dfg, lang::DramImage &dram,
     }
 
     stats.engineRounds = engine.run(max_rounds);
+    const dataflow::SchedStats &sched = engine.schedStats();
+    stats.schedWakeups = sched.wakeups;
+    stats.schedSteps = sched.steps;
+    stats.schedIdleSteps = sched.idleSteps;
+    stats.schedStepsSkipped = sched.stepsSkipped;
+    stats.schedVerifyPasses = sched.verifyPasses;
     stats.drained = engine.drained();
     if (!stats.drained) {
         throw std::runtime_error("dataflow execution stalled: " +

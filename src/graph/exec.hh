@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dataflow/engine.hh"
 #include "graph/dfg.hh"
 #include "lang/dram_image.hh"
 
@@ -25,7 +26,16 @@ namespace graph
 
 struct ExecStats
 {
+    /** Working scheduler rounds (same counting rule for both
+     * dataflow::Engine policies: rounds that moved at least one
+     * token; the final certification pass is excluded). */
     uint64_t engineRounds = 0;
+    /** Scheduler observability (see dataflow::SchedStats). */
+    uint64_t schedWakeups = 0;
+    uint64_t schedSteps = 0;
+    uint64_t schedIdleSteps = 0;
+    uint64_t schedStepsSkipped = 0;
+    uint64_t schedVerifyPasses = 0;
     uint64_t dramReadElems = 0;
     uint64_t dramWriteElems = 0;
     uint64_t dramReadBytes = 0;
@@ -42,11 +52,16 @@ struct ExecStats
 /**
  * Execute @p dfg against @p dram with main's @p args.
  *
+ * @param policy scheduling policy for the streaming engine; both
+ *        policies are semantically interchangeable (Kahn-network
+ *        determinism) and the worklist default is the fast path.
  * @throws std::runtime_error on machine-model violations or livelock.
  */
 ExecStats execute(const Dfg &dfg, lang::DramImage &dram,
                   const std::vector<int32_t> &args,
-                  uint64_t max_rounds = 1u << 26);
+                  uint64_t max_rounds = dataflow::Engine::defaultMaxRounds,
+                  dataflow::Engine::Policy policy =
+                      dataflow::Engine::Policy::worklist);
 
 } // namespace graph
 } // namespace revet

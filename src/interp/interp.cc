@@ -252,13 +252,17 @@ class Machine
     execWhileFork(const Stmt &s, const Cont &after)
     {
         // Recursive loop so forked threads re-evaluate the condition
-        // independently.
+        // independently. The continuation captures a raw pointer to
+        // itself, not the shared_ptr: execution is fully synchronous
+        // inside (*loop)(), and the owning capture made a
+        // self-reference cycle that leaked every loop continuation.
         auto loop = std::make_shared<Cont>();
-        *loop = [this, &s, after, loop] {
+        Cont *loop_raw = loop.get();
+        *loop = [this, &s, after, loop_raw] {
             tick();
             if (eval(*s.value) != 0) {
                 ++stats_.whileIterations;
-                execList(s.body, 0, *loop);
+                execList(s.body, 0, *loop_raw);
             } else {
                 after();
             }
