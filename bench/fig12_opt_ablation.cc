@@ -11,7 +11,6 @@
 #include "apps/harness.hh"
 
 using revet::CompileOptions;
-using revet::graph::ResourceOptions;
 
 int
 main()
@@ -20,17 +19,16 @@ main()
     {
         const char *name;
         CompileOptions copts;
-        ResourceOptions ropts;
     };
     Variant variants[4];
     variants[0].name = "Default";
     variants[1].name = "No If Conv.";
     variants[1].copts.passes.ifToSelect = false;
     variants[2].name = "No Buffer";
-    variants[2].ropts.bufferizeReplicate = false;
-    variants[2].ropts.hoistAllocators = false;
+    variants[2].copts.graph.bufferizeReplicate = false;
+    variants[2].copts.graph.hoistAllocators = false;
     variants[3].name = "No Pack";
-    variants[3].ropts.packSubWords = false;
+    variants[3].copts.graph.packSubWords = false;
 
     std::printf("=== Figure 12: resource increase with passes "
                 "disabled (x default) ===\n");
@@ -42,8 +40,7 @@ main()
     for (const auto &app : revet::apps::allApps()) {
         double cu[4], mu[4];
         for (int v = 0; v < 4; ++v) {
-            auto run = revet::apps::runApp(app, 8, variants[v].copts,
-                                           variants[v].ropts);
+            auto run = revet::apps::runApp(app, 8, variants[v].copts);
             // Compare one stream's footprint (outer parallelism fixed
             // at the default variant would skew ratios).
             cu[v] = run.resources.totalCU /

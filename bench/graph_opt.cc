@@ -1,0 +1,158 @@
+/**
+ * @file
+ * DFG optimizer before/after comparison on the Table III applications.
+ *
+ * For every app fixture the program is compiled twice — optimizer off
+ * (the naive lowered graph) and on (the default pipeline) — and both
+ * graphs are executed on identically generated DRAM images. The bench
+ * asserts:
+ *
+ *  - bit-identical DRAM output between the two graphs, and the app's
+ *    golden verifier passes on the optimized run;
+ *  - >= 15% reduction in total node count summed across the apps;
+ *  - >= 15% reduction in total ExecStats::schedSteps summed across the
+ *    apps (the scheduler work the optimizer exists to save).
+ *
+ * Exits non-zero on violation so CI can run it as a guardrail (it is
+ * registered with CTest as bench.graph_opt), mirroring the
+ * engine_sched.cc acceptance-gate pattern. One machine-readable JSON
+ * line per app (and a summary line) feeds the bench trajectory.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hh"
+#include "core/revet.hh"
+
+using namespace revet;
+
+namespace
+{
+
+struct RunResult
+{
+    uint64_t nodes = 0, links = 0, schedSteps = 0;
+    std::vector<std::vector<uint8_t>> dram;
+    std::string verifyError;
+};
+
+RunResult
+runOnce(const apps::App &app, int scale, const CompileOptions &opts)
+{
+    auto prog = CompiledProgram::compile(app.source, opts);
+    lang::DramImage dram(prog.hir());
+    auto args = app.generate(dram, scale);
+    auto stats = prog.execute(dram, args);
+    RunResult out;
+    out.nodes = stats.graphNodes;
+    out.links = stats.graphLinks;
+    out.schedSteps = stats.schedSteps;
+    for (int d = 0; d < dram.dramCount(); ++d)
+        out.dram.push_back(dram.bytes(d));
+    out.verifyError = app.verify(dram, scale);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int scale = 4;
+    const double bar = 0.15; // required relative reduction
+    bool ok = true;
+    uint64_t nodes_off = 0, nodes_on = 0;
+    uint64_t links_off = 0, links_on = 0;
+    uint64_t steps_off = 0, steps_on = 0;
+
+    CompileOptions off;
+    off.graphOpt.enable = false;
+    CompileOptions on; // default: optimizer enabled
+
+    std::printf("graph_opt: DFG optimizer on vs off, app fixtures at "
+                "scale %d\n",
+                scale);
+    std::printf("  %-10s | %5s -> %-5s | %5s -> %-5s | %9s -> %-9s\n",
+                "app", "nodes", "nodes", "links", "links", "schedSteps",
+                "schedSteps");
+    for (const auto &app : apps::allApps()) {
+        RunResult a = runOnce(app, scale, off);
+        RunResult b = runOnce(app, scale, on);
+        if (a.dram != b.dram) {
+            std::printf("  FAIL(%s): DRAM output diverged between "
+                        "optimized and unoptimized graphs\n",
+                        app.name.c_str());
+            ok = false;
+        }
+        if (!b.verifyError.empty()) {
+            std::printf("  FAIL(%s): golden verifier: %s\n",
+                        app.name.c_str(), b.verifyError.c_str());
+            ok = false;
+        }
+        std::printf("  %-10s | %5llu -> %-5llu | %5llu -> %-5llu | "
+                    "%9llu -> %-9llu\n",
+                    app.name.c_str(),
+                    static_cast<unsigned long long>(a.nodes),
+                    static_cast<unsigned long long>(b.nodes),
+                    static_cast<unsigned long long>(a.links),
+                    static_cast<unsigned long long>(b.links),
+                    static_cast<unsigned long long>(a.schedSteps),
+                    static_cast<unsigned long long>(b.schedSteps));
+        std::printf("{\"bench\":\"graph_opt\",\"app\":\"%s\","
+                    "\"scale\":%d,\"nodes_before\":%llu,"
+                    "\"nodes_after\":%llu,\"links_before\":%llu,"
+                    "\"links_after\":%llu,\"sched_steps_before\":%llu,"
+                    "\"sched_steps_after\":%llu}\n",
+                    app.name.c_str(), scale,
+                    static_cast<unsigned long long>(a.nodes),
+                    static_cast<unsigned long long>(b.nodes),
+                    static_cast<unsigned long long>(a.links),
+                    static_cast<unsigned long long>(b.links),
+                    static_cast<unsigned long long>(a.schedSteps),
+                    static_cast<unsigned long long>(b.schedSteps));
+        nodes_off += a.nodes;
+        nodes_on += b.nodes;
+        links_off += a.links;
+        links_on += b.links;
+        steps_off += a.schedSteps;
+        steps_on += b.schedSteps;
+    }
+
+    double node_red = 1.0 - static_cast<double>(nodes_on) /
+        static_cast<double>(nodes_off);
+    double link_red = 1.0 - static_cast<double>(links_on) /
+        static_cast<double>(links_off);
+    double step_red = 1.0 - static_cast<double>(steps_on) /
+        static_cast<double>(steps_off);
+    std::printf("  total nodes %llu -> %llu (-%.1f%%), links %llu -> "
+                "%llu (-%.1f%%), schedSteps %llu -> %llu (-%.1f%%)\n",
+                static_cast<unsigned long long>(nodes_off),
+                static_cast<unsigned long long>(nodes_on),
+                100 * node_red,
+                static_cast<unsigned long long>(links_off),
+                static_cast<unsigned long long>(links_on),
+                100 * link_red,
+                static_cast<unsigned long long>(steps_off),
+                static_cast<unsigned long long>(steps_on),
+                100 * step_red);
+    std::printf("{\"bench\":\"graph_opt\",\"app\":\"TOTAL\",\"scale\":%d,"
+                "\"node_reduction\":%.4f,\"link_reduction\":%.4f,"
+                "\"sched_step_reduction\":%.4f}\n",
+                scale, node_red, link_red, step_red);
+
+    if (node_red < bar) {
+        std::printf("  FAIL: node reduction %.1f%% below the %.0f%% "
+                    "acceptance bar\n",
+                    100 * node_red, 100 * bar);
+        ok = false;
+    }
+    if (step_red < bar) {
+        std::printf("  FAIL: schedSteps reduction %.1f%% below the "
+                    "%.0f%% acceptance bar\n",
+                    100 * step_red, 100 * bar);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

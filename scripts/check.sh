@@ -93,6 +93,13 @@ echo "== test"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 if [[ "$sanitize" == ON ]]; then
+    # The DFG optimizer rewrites graphs in place with manual id
+    # compaction — exactly the code ASan/UBSan exists for. Re-run the
+    # optimizer equivalence suite explicitly so the instrumented build
+    # always exercises it even if someone narrows the ctest invocation.
+    echo "== optimizer equivalence (sanitized)"
+    "$build_dir/tests/revet_test_graph" \
+        --gtest_filter='*GraphOptEquiv*:*GraphOptStructure*:*GraphOptPipeline*'
     echo "== check.sh: all green (ASan+UBSan)"
     exit 0
 fi

@@ -11,7 +11,11 @@ runApp(const App &app, int scale, const CompileOptions &copts,
        const sim::MachineConfig &machine, bool aurochs_mode)
 {
     AppRun out;
-    auto prog = CompiledProgram::compile(app.source, copts);
+    // The optimizer's block-fusion budget and the resource/perf
+    // analysis must describe the same machine.
+    CompileOptions co = copts;
+    co.graphOpt.machine = machine;
+    auto prog = CompiledProgram::compile(app.source, co);
 
     lang::DramImage dram(prog.hir());
     auto args = app.generate(dram, scale);
@@ -22,6 +26,9 @@ runApp(const App &app, int scale, const CompileOptions &copts,
 
     graph::Dfg dfg = prog.dfg(); // copy: link analysis annotates widths
     graph::ResourceOptions ro = ropts;
+    // The canonical graph-level toggles live in CompileOptions; plumb
+    // them through so the layers cannot drift.
+    ro.toggles = copts.graph;
     if (ro.replicateOverride == 0)
         ro.replicateOverride = app.replicateFactor;
     out.resources = graph::analyzeResources(dfg, machine, ro);

@@ -14,7 +14,8 @@ CompiledProgram::compile(const std::string &source,
     out.ref_ = lang::parseAndAnalyze(source);
     out.hir_ = lang::parseAndAnalyze(source);
     passes::runPipeline(out.hir_, opts.passes);
-    out.dfg_ = graph::lower(out.hir_, opts.lower);
+    out.dfg_ = graph::lower(out.hir_);
+    out.opt_report_ = graph::optimize(out.dfg_, opts.graphOpt);
     return out;
 }
 

@@ -20,6 +20,8 @@
 #include "graph/dfg.hh"
 #include "graph/exec.hh"
 #include "graph/lower.hh"
+#include "graph/optimize.hh"
+#include "graph/options.hh"
 #include "interp/interp.hh"
 #include "lang/ast.hh"
 #include "lang/dram_image.hh"
@@ -31,8 +33,11 @@ namespace revet
 /** All compilation knobs in one place (used by the Fig. 12 ablation). */
 struct CompileOptions
 {
-    passes::PassOptions passes;
-    graph::LowerOptions lower;
+    passes::PassOptions passes;      ///< HIR pass pipeline
+    graph::GraphPassOptions graphOpt; ///< DFG optimizer (Fig. 8 right half)
+    /** Graph-level resource toggles — the single canonical copy,
+     * plumbed into graph::ResourceOptions by the evaluation harness. */
+    graph::GraphToggles graph;
 };
 
 /** A Revet program carried through every compilation stage. */
@@ -52,8 +57,11 @@ class CompiledProgram
     /** The pre-pipeline HIR (reference-interpreter semantics). */
     const lang::Program &referenceHir() const { return ref_; }
 
-    /** The lowered dataflow graph. */
+    /** The lowered (and, unless disabled, optimized) dataflow graph. */
     const graph::Dfg &dfg() const { return dfg_; }
+
+    /** What the DFG optimizer did (node/link deltas, per-pass counts). */
+    const graph::GraphOptReport &optReport() const { return opt_report_; }
 
     const CompileOptions &options() const { return opts_; }
 
@@ -75,6 +83,7 @@ class CompiledProgram
     lang::Program ref_;
     lang::Program hir_;
     graph::Dfg dfg_;
+    graph::GraphOptReport opt_report_;
     CompileOptions opts_;
 };
 

@@ -1,7 +1,10 @@
 #include "graph/dfg.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "lang/type.hh"
 
 namespace revet
 {
@@ -27,6 +30,68 @@ bool
 isDramOp(OpKind kind)
 {
     return kind == OpKind::dramRead || kind == OpKind::dramWrite;
+}
+
+bool
+evalPureOp(const BlockOp &op, Word a, Word b, Word c, Word &out)
+{
+    const auto sa = static_cast<int32_t>(a);
+    const auto sb = static_cast<int32_t>(b);
+    switch (op.kind) {
+      case OpKind::cnst: out = op.imm; return true;
+      case OpKind::mov: out = a; return true;
+      case OpKind::add: out = a + b; return true;
+      case OpKind::sub: out = a - b; return true;
+      case OpKind::mul: out = a * b; return true;
+      case OpKind::divs:
+        if (b == 0)
+            return false;
+        // INT32_MIN / -1 overflows; define it as the wrapped result.
+        out = (sb == -1 && sa == INT32_MIN)
+            ? a
+            : static_cast<uint32_t>(sa / sb);
+        return true;
+      case OpKind::divu:
+        if (b == 0)
+            return false;
+        out = a / b;
+        return true;
+      case OpKind::rems:
+        if (b == 0)
+            return false;
+        out = (sb == -1 && sa == INT32_MIN)
+            ? 0
+            : static_cast<uint32_t>(sa % sb);
+        return true;
+      case OpKind::remu:
+        if (b == 0)
+            return false;
+        out = a % b;
+        return true;
+      case OpKind::andb: out = a & b; return true;
+      case OpKind::orb: out = a | b; return true;
+      case OpKind::xorb: out = a ^ b; return true;
+      case OpKind::shl: out = a << (b & 31); return true;
+      case OpKind::shrs:
+        out = static_cast<uint32_t>(sa >> (b & 31));
+        return true;
+      case OpKind::shru: out = a >> (b & 31); return true;
+      case OpKind::eq: out = a == b; return true;
+      case OpKind::ne: out = a != b; return true;
+      case OpKind::lts: out = sa < sb; return true;
+      case OpKind::ltu: out = a < b; return true;
+      case OpKind::les: out = sa <= sb; return true;
+      case OpKind::leu: out = a <= b; return true;
+      case OpKind::land: out = (a != 0 && b != 0) ? 1 : 0; return true;
+      case OpKind::lor: out = (a != 0 || b != 0) ? 1 : 0; return true;
+      case OpKind::lnot: out = a == 0 ? 1 : 0; return true;
+      case OpKind::bnot: out = ~a; return true;
+      case OpKind::neg: out = -a; return true;
+      case OpKind::sel: out = a != 0 ? b : c; return true;
+      case OpKind::norm: out = lang::normalize(op.elem, a); return true;
+      default:
+        return false; // memory ops: executor-only
+    }
 }
 
 std::string
@@ -61,11 +126,14 @@ Dfg::toDot() const
         os << "\" shape=" << (n.kind == NodeKind::block ? "box" : "ellipse")
            << "];\n";
     }
+    // Links carry their element type and vector-vs-scalar network
+    // class (scalar links render dashed).
     for (const auto &l : links) {
         if (l.src >= 0 && l.dst >= 0) {
             os << "  n" << l.src << " -> n" << l.dst << " [label=\""
-               << l.name << "\"" << (l.vector ? "" : " style=dashed")
-               << "];\n";
+               << l.name << ":" << lang::toString(l.elem)
+               << (l.vector ? ":v" : ":s") << "\""
+               << (l.vector ? "" : " style=dashed") << "];\n";
         }
     }
     os << "}\n";
@@ -75,11 +143,57 @@ Dfg::toDot() const
 void
 Dfg::verify() const
 {
-    for (const auto &l : links) {
+    const int n_nodes = static_cast<int>(nodes.size());
+    const int n_links = static_cast<int>(links.size());
+    for (int i = 0; i < n_links; ++i) {
+        const Link &l = links[i];
+        if (l.id != i)
+            throw std::logic_error("link '" + l.name + "' id mismatch");
         if (l.src < 0)
             throw std::logic_error("link '" + l.name + "' has no producer");
         if (l.dst < 0)
             throw std::logic_error("link '" + l.name + "' has no consumer");
+        if (l.src >= n_nodes || l.dst >= n_nodes)
+            throw std::logic_error("link '" + l.name +
+                                   "' endpoint out of range");
+    }
+    // Every link must be listed exactly once as an output of its
+    // producer and once as an input of its consumer.
+    std::vector<int> produced(links.size(), 0), consumed(links.size(), 0);
+    for (int i = 0; i < n_nodes; ++i) {
+        const Node &n = nodes[i];
+        if (n.id != i) {
+            throw std::logic_error("node '" + n.name + "' id mismatch");
+        }
+        for (int l : n.outs) {
+            if (l < 0 || l >= n_links)
+                throw std::logic_error("node '" + n.name +
+                                       "': output link out of range");
+            if (links[l].src != i)
+                throw std::logic_error("node '" + n.name + "': link '" +
+                                       links[l].name +
+                                       "' does not name it as producer");
+            ++produced[l];
+        }
+        for (int l : n.ins) {
+            if (l < 0 || l >= n_links)
+                throw std::logic_error("node '" + n.name +
+                                       "': input link out of range");
+            if (links[l].dst != i)
+                throw std::logic_error("node '" + n.name + "': link '" +
+                                       links[l].name +
+                                       "' does not name it as consumer");
+            ++consumed[l];
+        }
+    }
+    for (int i = 0; i < n_links; ++i) {
+        if (produced[i] != 1 || consumed[i] != 1) {
+            throw std::logic_error("link '" + links[i].name +
+                                   "' endpoint listed " +
+                                   std::to_string(produced[i]) + "/" +
+                                   std::to_string(consumed[i]) +
+                                   " times (want 1/1)");
+        }
     }
     for (const auto &n : nodes) {
         auto need = [&](bool ok, const std::string &msg) {
@@ -87,6 +201,9 @@ Dfg::verify() const
                 throw std::logic_error("node '" + n.name + "' (" +
                                        toString(n.kind) + "): " + msg);
             }
+        };
+        auto regOk = [&](int reg, bool allowNone) {
+            return reg < n.nRegs && (allowNone ? reg >= -1 : reg >= 0);
         };
         switch (n.kind) {
           case NodeKind::counter:
@@ -126,6 +243,17 @@ Dfg::verify() const
                  "block input register mismatch");
             need(n.outs.size() == n.outputRegs.size(),
                  "block output register mismatch");
+            need(n.nRegs >= 0, "negative register count");
+            for (int reg : n.inputRegs)
+                need(regOk(reg, false), "input register out of range");
+            for (int reg : n.outputRegs)
+                need(regOk(reg, false), "output register out of range");
+            for (const auto &op : n.ops) {
+                need(regOk(op.dst, true) && regOk(op.a, true) &&
+                         regOk(op.b, true) && regOk(op.c, true) &&
+                         regOk(op.guard, true),
+                     "op register out of range");
+            }
             break;
         }
     }

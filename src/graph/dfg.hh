@@ -66,6 +66,16 @@ struct BlockOp
     int guard = -1;       ///< predication register (-1: unconditional)
 };
 
+/**
+ * Evaluate a pure (ALU) op over resolved operand values — the single
+ * definition of block-op arithmetic, shared by the graph executor and
+ * the optimizer's constant folder so the two cannot drift. Returns
+ * false for memory ops and for division/remainder by zero (the
+ * executor throws there; the folder refuses to fold). INT32_MIN / -1
+ * wraps to INT32_MIN.
+ */
+bool evalPureOp(const BlockOp &op, Word a, Word b, Word c, Word &out);
+
 enum class NodeKind
 {
     block,     ///< element-wise context (BlockOps over a bundle)
@@ -183,8 +193,11 @@ struct Dfg
     /** Graphviz rendering for debugging / docs. */
     std::string toDot() const;
 
-    /** Consistency check: every link has one producer and one consumer,
-     * node arities match their kind conventions. Throws on violation. */
+    /** Consistency check: ids equal container indices, every link has
+     * exactly one producer and one consumer that list it back, node
+     * arities match their kind conventions, and every block register
+     * (inputRegs/outputRegs and op operands) is in range. Throws
+     * std::logic_error on violation. Run between optimizer passes. */
     void verify() const;
 };
 

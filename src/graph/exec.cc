@@ -49,49 +49,24 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
     auto A = [&] { return regs[op.a]; };
     auto B = [&] { return regs[op.b]; };
     auto C = [&] { return regs[op.c]; };
-    auto sA = [&] { return static_cast<int32_t>(regs[op.a]); };
-    auto sB = [&] { return static_cast<int32_t>(regs[op.b]); };
+    // ALU semantics live in one place (graph::evalPureOp), shared with
+    // the optimizer's constant folder. It declines division/remainder
+    // by zero — a machine-model violation here.
+    {
+        Word out = 0;
+        Word a = op.a >= 0 ? A() : 0;
+        Word b = op.b >= 0 ? B() : 0;
+        Word c = op.c >= 0 ? C() : 0;
+        if (evalPureOp(op, a, b, c, out))
+            return out;
+    }
     switch (op.kind) {
-      case OpKind::cnst: return op.imm;
-      case OpKind::mov: return A();
-      case OpKind::add: return A() + B();
-      case OpKind::sub: return A() - B();
-      case OpKind::mul: return A() * B();
       case OpKind::divs:
-        if (B() == 0)
-            throw std::runtime_error("division by zero in dataflow");
-        return static_cast<uint32_t>(sA() / sB());
       case OpKind::divu:
-        if (B() == 0)
-            throw std::runtime_error("division by zero in dataflow");
-        return A() / B();
+        throw std::runtime_error("division by zero in dataflow");
       case OpKind::rems:
-        if (B() == 0)
-            throw std::runtime_error("remainder by zero in dataflow");
-        return static_cast<uint32_t>(sA() % sB());
       case OpKind::remu:
-        if (B() == 0)
-            throw std::runtime_error("remainder by zero in dataflow");
-        return A() % B();
-      case OpKind::andb: return A() & B();
-      case OpKind::orb: return A() | B();
-      case OpKind::xorb: return A() ^ B();
-      case OpKind::shl: return A() << (B() & 31);
-      case OpKind::shrs: return static_cast<uint32_t>(sA() >> (B() & 31));
-      case OpKind::shru: return A() >> (B() & 31);
-      case OpKind::eq: return A() == B();
-      case OpKind::ne: return A() != B();
-      case OpKind::lts: return sA() < sB();
-      case OpKind::ltu: return A() < B();
-      case OpKind::les: return sA() <= sB();
-      case OpKind::leu: return A() <= B();
-      case OpKind::land: return (A() != 0 && B() != 0) ? 1 : 0;
-      case OpKind::lor: return (A() != 0 || B() != 0) ? 1 : 0;
-      case OpKind::lnot: return A() == 0 ? 1 : 0;
-      case OpKind::bnot: return ~A();
-      case OpKind::neg: return -A();
-      case OpKind::sel: return A() != 0 ? B() : C();
-      case OpKind::norm: return normalize(op.elem, A());
+        throw std::runtime_error("remainder by zero in dataflow");
       case OpKind::sramAlloc:
         return mem.alloc(op.size);
       case OpKind::sramRead: {
@@ -132,6 +107,8 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
         mem.dram.store(op.dram, A(), B());
         return 0;
       }
+      default:
+        break; // pure ops already handled by evalPureOp
     }
     return 0;
 }
@@ -144,6 +121,8 @@ execute(const Dfg &dfg, lang::DramImage &dram,
         dataflow::Engine::Policy policy)
 {
     ExecStats stats;
+    stats.graphNodes = dfg.nodes.size();
+    stats.graphLinks = dfg.links.size();
     auto mem = std::make_shared<MachineMemory>(
         MachineMemory{dram, {}, stats});
 

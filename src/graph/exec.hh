@@ -42,6 +42,10 @@ struct ExecStats
     uint64_t dramWriteBytes = 0;
     uint64_t sramAccesses = 0;
     uint64_t sramAllocs = 0;
+    /** Size of the executed graph (reports the optimizer's win when
+     * compared against an unoptimized compile of the same program). */
+    uint64_t graphNodes = 0;
+    uint64_t graphLinks = 0;
     bool drained = false;
     /** Data tokens that crossed each link (indexed by link id). */
     std::vector<uint64_t> linkTokens;

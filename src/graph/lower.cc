@@ -22,8 +22,8 @@ constexpr int threadToken = -1;
 class Lowering
 {
   public:
-    Lowering(const Program &prog, const LowerOptions &opts)
-        : prog_(prog), fn_(*prog.main()), opts_(opts)
+    explicit Lowering(const Program &prog)
+        : prog_(prog), fn_(*prog.main())
     {}
 
     Dfg
@@ -151,6 +151,11 @@ class Lowering
      * touched slots in @p liveAfter plus the thread token and any
      * @p extraRegs. Updates env_. Returns the links created for
      * extraRegs (in order).
+     *
+     * A node is emitted unconditionally — a boundary with nothing
+     * pending becomes a passthrough token block. The optimizer's
+     * copy-propagation pass erases these wiring blocks; keeping the
+     * emitter unconditional keeps it simple and the graph uniform.
      */
     std::vector<int>
     flushBlock(const std::set<int> &liveAfter,
@@ -163,13 +168,6 @@ class Lowering
         for (int slot : liveAfter) {
             if (pending_.touched(slot))
                 out_slots.push_back(slot);
-        }
-        bool token_touched = pending_.touched(threadToken);
-        bool need_node = !pending_.ops.empty() || !out_slots.empty() ||
-            !extraRegs.empty() || token_touched;
-        if (!need_node) {
-            pending_ = Pending();
-            return {};
         }
         // Thread the token through so the block always has structure.
         slotReg(threadToken);
@@ -225,8 +223,8 @@ class Lowering
     std::vector<int>
     fanout(int link, int n)
     {
-        if (n == 1)
-            return {link};
+        // Even n == 1 emits a real fanout node; the optimizer splices
+        // degenerate fanouts away.
         auto &node = dfg_.newNode(NodeKind::fanout, "fan");
         annotate(node);
         dfg_.connectIn(node.id, link);
@@ -1005,7 +1003,6 @@ class Lowering
 
     const Program &prog_;
     const Function &fn_;
-    LowerOptions opts_;
     Dfg dfg_;
 
     std::map<int, int> env_; ///< slot -> live link
@@ -1028,9 +1025,9 @@ class Lowering
 } // namespace
 
 Dfg
-lower(const Program &program, const LowerOptions &opts)
+lower(const Program &program)
 {
-    Lowering lowering(program, opts);
+    Lowering lowering(program);
     return lowering.run();
 }
 

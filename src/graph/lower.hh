@@ -13,6 +13,12 @@
  *
  * Input programs must already be through passes::runPipeline (no memory
  * adapters other than SRAM).
+ *
+ * Lowering emits straightforwardly — a (possibly passthrough) block at
+ * every control boundary, a fanout node for every copy, a sink on
+ * every dead link — and leaves cleanup to the DFG optimizer
+ * (graph/optimize.hh), which core::CompiledProgram::compile runs
+ * between lowering and execution.
  */
 
 #ifndef REVET_GRAPH_LOWER_HH
@@ -26,21 +32,13 @@ namespace revet
 namespace graph
 {
 
-struct LowerOptions
-{
-    /** Resource-model toggles recorded on the graph (Section V-B). */
-    bool packSubWords = true;
-    bool bufferizeReplicate = true;
-    bool hoistAllocators = true;
-};
-
 /**
  * Lower @p program (post-pass-pipeline) to a dataflow graph.
  *
  * @throws lang::CompileError on unsupported shapes (e.g. remaining
  * memory adapters, a while body that terminates every thread).
  */
-Dfg lower(const lang::Program &program, const LowerOptions &opts = {});
+Dfg lower(const lang::Program &program);
 
 } // namespace graph
 } // namespace revet

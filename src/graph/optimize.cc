@@ -1,0 +1,979 @@
+#include "graph/optimize.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/resources.hh"
+#include "lang/type.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+std::string
+GraphOptReport::summary() const
+{
+    std::ostringstream os;
+    os << "nodes " << nodesBefore << " -> " << nodesAfter << ", links "
+       << linksBefore << " -> " << linksAfter << " (" << iterations
+       << " iters";
+    for (const auto &[pass, count] : rewrites)
+        os << "; " << pass << ": " << count;
+    os << ")";
+    return os.str();
+}
+
+namespace
+{
+
+bool
+isEffectOp(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::sramWrite:
+      case OpKind::dramWrite:
+      case OpKind::rmwAdd:
+      case OpKind::rmwSub:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+blockHasEffects(const Node &node)
+{
+    for (const auto &op : node.ops) {
+        if (isEffectOp(op.kind))
+            return true;
+    }
+    return false;
+}
+
+int
+indexOf(const std::vector<int> &v, int x)
+{
+    auto it = std::find(v.begin(), v.end(), x);
+    if (it == v.end())
+        throw std::logic_error("graph optimizer: link not on node");
+    return static_cast<int>(it - v.begin());
+}
+
+/**
+ * Dead-mark bookkeeping plus id compaction. Passes mark nodes/links
+ * dead during surgery (ids are container indices, so removal cannot be
+ * eager) and compact() renumbers everything once the pass is done.
+ */
+struct Surgeon
+{
+    Dfg &g;
+    std::vector<char> nodeDead, linkDead;
+
+    explicit Surgeon(Dfg &graph)
+        : g(graph), nodeDead(graph.nodes.size(), 0),
+          linkDead(graph.links.size(), 0)
+    {}
+
+    /** Re-size the mark arrays after newNode()/newLink(). */
+    void
+    grow()
+    {
+        nodeDead.resize(g.nodes.size(), 0);
+        linkDead.resize(g.links.size(), 0);
+    }
+
+    void
+    compact()
+    {
+        std::vector<int> node_map(g.nodes.size(), -1);
+        std::vector<int> link_map(g.links.size(), -1);
+        int nn = 0;
+        for (size_t i = 0; i < g.nodes.size(); ++i) {
+            if (!nodeDead[i])
+                node_map[i] = nn++;
+        }
+        int nl = 0;
+        for (size_t i = 0; i < g.links.size(); ++i) {
+            if (!linkDead[i])
+                link_map[i] = nl++;
+        }
+        std::deque<Node> nodes;
+        for (auto &n : g.nodes) {
+            if (nodeDead[n.id])
+                continue;
+            Node m = std::move(n);
+            m.id = node_map[m.id];
+            for (auto &l : m.ins)
+                l = link_map[l];
+            for (auto &l : m.outs)
+                l = link_map[l];
+            nodes.push_back(std::move(m));
+        }
+        std::vector<Link> links;
+        for (const auto &l : g.links) {
+            if (linkDead[l.id])
+                continue;
+            Link m = l;
+            m.id = link_map[l.id];
+            m.src = node_map[m.src];
+            m.dst = node_map[m.dst];
+            links.push_back(m);
+        }
+        for (auto &region : g.replicates) {
+            std::vector<int> ids;
+            for (int id : region.nodeIds) {
+                if (node_map[id] >= 0)
+                    ids.push_back(node_map[id]);
+            }
+            region.nodeIds = std::move(ids);
+        }
+        g.nodes = std::move(nodes);
+        g.links = std::move(links);
+    }
+};
+
+/**
+ * Remove output @p l from node @p nid after its consumer went away.
+ * Bundle nodes drop the paired inputs (newly dangling links go on
+ * @p orphans for their producers); single-output primitives and
+ * sources cannot narrow, so their link is rerouted into a fresh sink.
+ */
+void
+detachOutput(Dfg &g, Surgeon &s, int nid, int l, std::vector<int> &orphans)
+{
+    Node &n = g.nodes[nid];
+    switch (n.kind) {
+      case NodeKind::block: {
+        int idx = indexOf(n.outs, l);
+        n.outs.erase(n.outs.begin() + idx);
+        n.outputRegs.erase(n.outputRegs.begin() + idx);
+        break;
+      }
+      case NodeKind::fanout: {
+        int idx = indexOf(n.outs, l);
+        n.outs.erase(n.outs.begin() + idx);
+        if (n.outs.empty()) {
+            // No consumer left: the fanout dies and its own input
+            // becomes the orphan.
+            s.nodeDead[nid] = 1;
+            int in = n.ins[0];
+            s.linkDead[in] = 1;
+            int p = g.links[in].src;
+            if (p >= 0 && !s.nodeDead[p])
+                orphans.push_back(in);
+        }
+        break;
+      }
+      case NodeKind::filter: {
+        int idx = indexOf(n.outs, l);
+        int in = n.ins[idx + 1]; // ins[0] is the predicate
+        n.outs.erase(n.outs.begin() + idx);
+        n.ins.erase(n.ins.begin() + idx + 1);
+        s.linkDead[in] = 1;
+        int p = g.links[in].src;
+        if (p >= 0 && !s.nodeDead[p])
+            orphans.push_back(in);
+        break;
+      }
+      case NodeKind::fwdMerge:
+      case NodeKind::fbMerge: {
+        int half = static_cast<int>(n.outs.size());
+        int idx = indexOf(n.outs, l);
+        int in_a = n.ins[idx];
+        int in_b = n.ins[idx + half];
+        n.ins.erase(n.ins.begin() + idx + half);
+        n.ins.erase(n.ins.begin() + idx);
+        n.outs.erase(n.outs.begin() + idx);
+        for (int in : {in_a, in_b}) {
+            s.linkDead[in] = 1;
+            int p = g.links[in].src;
+            if (p >= 0 && !s.nodeDead[p])
+                orphans.push_back(in);
+        }
+        if (n.outs.empty())
+            s.nodeDead[nid] = 1;
+        break;
+      }
+      default: {
+        // counter/broadcast/reduce/flatten/source have a fixed single
+        // output: terminate it with a sink instead of narrowing.
+        s.linkDead[l] = 0;
+        auto &sk = g.newNode(NodeKind::sink, "sink." + g.links[l].name);
+        s.grow();
+        g.links[l].dst = sk.id;
+        sk.ins.push_back(l);
+        break;
+      }
+    }
+}
+
+// ---- dead-node / sink elimination --------------------------------------
+
+class DeadNodeElim : public GraphPass
+{
+  public:
+    std::string name() const override { return "dead-node-elim"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &) override
+    {
+        const size_t n_nodes = g.nodes.size();
+
+        // Backward liveness from the nodes whose execution is
+        // observable: sources (argument injection must stay stable)
+        // and blocks with memory effects.
+        std::vector<char> live(n_nodes, 0);
+        std::vector<int> work;
+        for (size_t i = 0; i < n_nodes; ++i) {
+            const Node &n = g.nodes[i];
+            if (n.kind == NodeKind::source ||
+                (n.kind == NodeKind::block && blockHasEffects(n))) {
+                live[i] = 1;
+                work.push_back(static_cast<int>(i));
+            }
+        }
+        while (!work.empty()) {
+            int id = work.back();
+            work.pop_back();
+            for (int l : g.nodes[id].ins) {
+                int p = g.links[l].src;
+                if (p >= 0 && !live[p]) {
+                    live[p] = 1;
+                    work.push_back(p);
+                }
+            }
+        }
+
+        Surgeon s(g);
+        int rewrites = 0;
+        std::vector<int> orphans;
+
+        // 1) Remove whole dead nodes (their sinks go with them).
+        for (size_t i = 0; i < n_nodes; ++i) {
+            const Node &n = g.nodes[i];
+            if (live[i] || n.kind == NodeKind::sink)
+                continue;
+            s.nodeDead[i] = 1;
+            ++rewrites;
+            for (int l : n.ins) {
+                s.linkDead[l] = 1;
+                int p = g.links[l].src;
+                if (p >= 0 && live[p])
+                    orphans.push_back(l);
+            }
+            for (int l : n.outs) {
+                s.linkDead[l] = 1;
+                int c = g.links[l].dst;
+                if (c >= 0 && g.nodes[c].kind == NodeKind::sink &&
+                    !s.nodeDead[c]) {
+                    s.nodeDead[c] = 1;
+                    ++rewrites;
+                }
+            }
+        }
+
+        // 2) Sink elimination on live producers that can narrow: a
+        // block/fanout output into a sink is a wasted stream, and a
+        // filter/merge bundle slot into a sink drags its whole input
+        // pair along.
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (!live[i] || s.nodeDead[i])
+                continue;
+            bool droppable = n.kind == NodeKind::block ||
+                n.kind == NodeKind::fanout || n.kind == NodeKind::filter ||
+                n.kind == NodeKind::fwdMerge || n.kind == NodeKind::fbMerge;
+            if (!droppable)
+                continue;
+            const std::vector<int> outs = n.outs;
+            for (int l : outs) {
+                if (s.linkDead[l])
+                    continue;
+                int c = g.links[l].dst;
+                if (c < 0 || s.nodeDead[c] ||
+                    g.nodes[c].kind != NodeKind::sink) {
+                    continue;
+                }
+                s.nodeDead[c] = 1;
+                s.linkDead[l] = 1;
+                ++rewrites;
+                detachOutput(g, s, static_cast<int>(i), l, orphans);
+            }
+        }
+
+        // 3) Detach every orphaned link from its live producer.
+        while (!orphans.empty()) {
+            int l = orphans.back();
+            orphans.pop_back();
+            int p = g.links[l].src;
+            if (p < 0 || s.nodeDead[p])
+                continue;
+            detachOutput(g, s, p, l, orphans);
+        }
+
+        if (rewrites)
+            s.compact();
+        return rewrites;
+    }
+};
+
+// ---- fanout coalescing -------------------------------------------------
+
+class FanoutCoalesce : public GraphPass
+{
+  public:
+    std::string name() const override { return "fanout-coalesce"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &) override
+    {
+        Surgeon s(g);
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+
+        // (a) Fold fanout-of-fanout chains into the parent.
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::fanout || s.nodeDead[i])
+                continue;
+            int in = n.ins[0];
+            int p = g.links[in].src;
+            if (p < 0 || s.nodeDead[p] ||
+                g.nodes[p].kind != NodeKind::fanout) {
+                continue;
+            }
+            Node &parent = g.nodes[p];
+            int idx = indexOf(parent.outs, in);
+            parent.outs.erase(parent.outs.begin() + idx);
+            for (int l : n.outs) {
+                parent.outs.push_back(l);
+                g.links[l].src = p;
+            }
+            s.linkDead[in] = 1;
+            s.nodeDead[i] = 1;
+            ++rewrites;
+        }
+
+        // (b) Splice degenerate 1-way fanouts into direct links.
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::fanout || s.nodeDead[i] ||
+                n.outs.size() != 1) {
+                continue;
+            }
+            int in = n.ins[0];
+            int out = n.outs[0];
+            int c = g.links[out].dst;
+            g.nodes[c].ins[indexOf(g.nodes[c].ins, out)] = in;
+            g.links[in].dst = c;
+            s.linkDead[out] = 1;
+            s.nodeDead[i] = 1;
+            ++rewrites;
+        }
+
+        if (rewrites)
+            s.compact();
+        return rewrites;
+    }
+};
+
+// ---- copy propagation / mov-only block elimination ---------------------
+
+class CopyProp : public GraphPass
+{
+  public:
+    std::string name() const override { return "copy-prop"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &) override
+    {
+        Surgeon s(g);
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::block || s.nodeDead[i])
+                continue;
+            // Only single-input wiring blocks: a multi-input passthrough
+            // is an alignment barrier ordering memory effects (e.g. the
+            // foreach sync block) and must survive.
+            if (n.ins.size() != 1 || n.outs.empty())
+                continue;
+            bool wiring = true;
+            for (const auto &op : n.ops) {
+                if (op.kind != OpKind::mov || op.guard >= 0) {
+                    wiring = false;
+                    break;
+                }
+            }
+            if (!wiring)
+                continue;
+            // Trace every output register to the input register.
+            std::vector<int> root(n.nRegs, -1);
+            int in_reg = n.inputRegs[0];
+            root[in_reg] = in_reg;
+            for (const auto &op : n.ops) {
+                if (op.dst >= 0) {
+                    root[op.dst] =
+                        (op.a >= 0 && root[op.a] >= 0) ? root[op.a] : -1;
+                }
+            }
+            bool identity = true;
+            for (int r : n.outputRegs) {
+                if (r < 0 || r >= n.nRegs || root[r] != in_reg) {
+                    identity = false;
+                    break;
+                }
+            }
+            if (!identity)
+                continue;
+
+            int in = n.ins[0];
+            if (n.outs.size() == 1) {
+                // Pure passthrough: splice the consumer onto the input.
+                int out = n.outs[0];
+                int c = g.links[out].dst;
+                g.nodes[c].ins[indexOf(g.nodes[c].ins, out)] = in;
+                g.links[in].dst = c;
+                s.linkDead[out] = 1;
+                s.nodeDead[i] = 1;
+            } else {
+                // Identity with duplication: exactly a fanout.
+                n.kind = NodeKind::fanout;
+                n.ops.clear();
+                n.inputRegs.clear();
+                n.outputRegs.clear();
+                n.nRegs = 0;
+            }
+            ++rewrites;
+        }
+        if (rewrites)
+            s.compact();
+        return rewrites;
+    }
+};
+
+// ---- in-block constant folding / simplification ------------------------
+// Arithmetic semantics come from graph::evalPureOp (dfg.cc), the same
+// definition the executor uses, so folding cannot drift from runtime.
+
+/** Operand count actually read by a pure op (a, then b, then c). */
+int
+pureArity(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::cnst: return 0;
+      case OpKind::mov:
+      case OpKind::lnot:
+      case OpKind::bnot:
+      case OpKind::neg:
+      case OpKind::norm:
+        return 1;
+      case OpKind::sel: return 3;
+      default: return 2;
+    }
+}
+
+class ConstFold : public GraphPass
+{
+  public:
+    std::string name() const override { return "const-fold"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &) override
+    {
+        int rewrites = 0;
+        for (auto &n : g.nodes) {
+            if (n.kind == NodeKind::block)
+                rewrites += simplifyBlock(n);
+        }
+        return rewrites;
+    }
+
+  private:
+    static void
+    toCnst(BlockOp &op, Word value)
+    {
+        op.kind = OpKind::cnst;
+        op.imm = value;
+        op.a = op.b = op.c = -1;
+    }
+
+    static void
+    toMov(BlockOp &op, int src)
+    {
+        op.kind = OpKind::mov;
+        op.a = src;
+        op.b = op.c = -1;
+        op.imm = 0;
+    }
+
+    int
+    simplifyBlock(Node &n)
+    {
+        int changed = 0;
+
+        // Definition counts; blocks are SSA-shaped by construction but
+        // every fact below is gated on single-def so a violating block
+        // is simply left alone.
+        std::vector<int> defs(n.nRegs, 0);
+        for (int r : n.inputRegs)
+            ++defs[r];
+        for (const auto &op : n.ops) {
+            if (op.dst >= 0)
+                ++defs[op.dst];
+        }
+        auto single = [&](int r) {
+            return r >= 0 && r < n.nRegs && defs[r] == 1;
+        };
+
+        std::vector<char> is_const(n.nRegs, 0);
+        std::vector<Word> const_val(n.nRegs, 0);
+        std::vector<int> alias(n.nRegs);
+        // A fact about a register is only usable once its (unique)
+        // definition has been seen — a read before an out-of-order
+        // write observes zero, not the eventual value.
+        std::vector<char> defined(n.nRegs, 0);
+        for (int r : n.inputRegs)
+            defined[r] = 1;
+        for (int r = 0; r < n.nRegs; ++r) {
+            alias[r] = r;
+            // A register that is never defined reads as zero.
+            if (defs[r] == 0) {
+                is_const[r] = 1;
+                const_val[r] = 0;
+                defined[r] = 1;
+            }
+        }
+        auto res = [&](int r) {
+            return (r >= 0 && r < n.nRegs) ? alias[r] : r;
+        };
+
+        std::vector<char> keep(n.ops.size(), 1);
+        for (size_t oi = 0; oi < n.ops.size(); ++oi) {
+            BlockOp &op = n.ops[oi];
+
+            // Forward operands through copies.
+            int a = res(op.a), b = res(op.b), c = res(op.c);
+            int guard = res(op.guard);
+            if (a != op.a || b != op.b || c != op.c || guard != op.guard) {
+                op.a = a;
+                op.b = b;
+                op.c = c;
+                op.guard = guard;
+                ++changed;
+            }
+
+            // Constant guards: always-on drops the guard, always-off
+            // drops the op (an unwritten destination reads as zero,
+            // exactly like the skipped original).
+            if (op.guard >= 0 && is_const[op.guard]) {
+                if (const_val[op.guard] != 0) {
+                    op.guard = -1;
+                } else {
+                    keep[oi] = 0;
+                }
+                ++changed;
+                if (!keep[oi])
+                    continue;
+            }
+
+            if (op.guard < 0)
+                foldOp(n, op, is_const, const_val, changed);
+
+            // Record dataflow facts for single-def unguarded results.
+            if (op.dst >= 0 && single(op.dst) && op.guard < 0) {
+                if (op.kind == OpKind::cnst) {
+                    is_const[op.dst] = 1;
+                    const_val[op.dst] = op.imm;
+                } else if (op.kind == OpKind::mov && op.a >= 0) {
+                    int src = res(op.a);
+                    if (is_const[src]) {
+                        is_const[op.dst] = 1;
+                        const_val[op.dst] = const_val[src];
+                    }
+                    if (single(src) && defined[src])
+                        alias[op.dst] = src;
+                }
+            }
+            if (op.dst >= 0 && op.dst < n.nRegs)
+                defined[op.dst] = 1;
+        }
+
+        // Outputs read final register values; final aliases are valid
+        // substitutes (targets are single-def).
+        for (int &r : n.outputRegs) {
+            int rr = res(r);
+            if (rr != r) {
+                r = rr;
+                ++changed;
+            }
+        }
+
+        // Dead-op elimination (backward): pure ops whose results are
+        // never read and never exported can go.
+        std::vector<char> live_regs(n.nRegs, 0);
+        for (int r : n.outputRegs)
+            live_regs[r] = 1;
+        for (size_t oi = n.ops.size(); oi-- > 0;) {
+            BlockOp &op = n.ops[oi];
+            if (!keep[oi])
+                continue;
+            bool needed = isEffectOp(op.kind) ||
+                (op.dst >= 0 && live_regs[op.dst]);
+            if (!needed) {
+                keep[oi] = 0;
+                ++changed;
+                continue;
+            }
+            for (int r : {op.a, op.b, op.c, op.guard}) {
+                if (r >= 0 && r < n.nRegs)
+                    live_regs[r] = 1;
+            }
+        }
+        if (changed) {
+            std::vector<BlockOp> ops;
+            ops.reserve(n.ops.size());
+            for (size_t oi = 0; oi < n.ops.size(); ++oi) {
+                if (keep[oi])
+                    ops.push_back(n.ops[oi]);
+            }
+            n.ops = std::move(ops);
+        }
+        return changed;
+    }
+
+    /** Constant-fold / algebraically simplify one unguarded op. */
+    void
+    foldOp(Node &n, BlockOp &op, const std::vector<char> &is_const,
+           const std::vector<Word> &const_val, int &changed)
+    {
+        (void)n;
+        auto konst = [&](int r, Word &out) {
+            if (r >= 0 && is_const[r]) {
+                out = const_val[r];
+                return true;
+            }
+            return false;
+        };
+
+        // Full folding when every read operand is constant.
+        const int arity = pureArity(op.kind);
+        Word a = 0, b = 0, c = 0;
+        bool ca = konst(op.a, a), cb = konst(op.b, b), cc = konst(op.c, c);
+        bool all_const = (arity < 1 || ca) && (arity < 2 || cb) &&
+            (arity < 3 || cc);
+        if (op.kind != OpKind::cnst && all_const) {
+            Word out = 0;
+            if (evalPureOp(op, a, b, c, out)) {
+                toCnst(op, out);
+                ++changed;
+                return;
+            }
+        }
+
+        // Algebraic identities with one constant side.
+        switch (op.kind) {
+          case OpKind::sel:
+            if (ca) {
+                toMov(op, a != 0 ? op.b : op.c);
+                ++changed;
+            }
+            break;
+          case OpKind::add:
+            if (cb && b == 0) {
+                toMov(op, op.a);
+                ++changed;
+            } else if (ca && a == 0) {
+                toMov(op, op.b);
+                ++changed;
+            }
+            break;
+          case OpKind::sub:
+          case OpKind::shl:
+          case OpKind::shrs:
+          case OpKind::shru:
+            if (cb && (op.kind == OpKind::sub ? b == 0 : (b & 31) == 0)) {
+                toMov(op, op.a);
+                ++changed;
+            }
+            break;
+          case OpKind::mul:
+            if ((cb && b == 1) || (ca && a == 1)) {
+                toMov(op, cb && b == 1 ? op.a : op.b);
+                ++changed;
+            } else if ((cb && b == 0) || (ca && a == 0)) {
+                toCnst(op, 0);
+                ++changed;
+            }
+            break;
+          case OpKind::divs:
+          case OpKind::divu:
+            if (cb && b == 1) {
+                toMov(op, op.a);
+                ++changed;
+            }
+            break;
+          case OpKind::rems:
+          case OpKind::remu:
+            if (cb && b == 1) {
+                toCnst(op, 0);
+                ++changed;
+            }
+            break;
+          case OpKind::andb:
+            if ((cb && b == 0) || (ca && a == 0)) {
+                toCnst(op, 0);
+                ++changed;
+            } else if (cb && b == 0xffffffffu) {
+                toMov(op, op.a);
+                ++changed;
+            }
+            break;
+          case OpKind::orb:
+          case OpKind::xorb:
+            if (cb && b == 0) {
+                toMov(op, op.a);
+                ++changed;
+            } else if (ca && a == 0) {
+                toMov(op, op.b);
+                ++changed;
+            }
+            break;
+          case OpKind::land:
+            if ((ca && a == 0) || (cb && b == 0)) {
+                toCnst(op, 0);
+                ++changed;
+            }
+            break;
+          case OpKind::lor:
+            if ((ca && a != 0) || (cb && b != 0)) {
+                toCnst(op, 1);
+                ++changed;
+            }
+            break;
+          case OpKind::norm:
+            if (lang::bitWidth(op.elem) >= 32) {
+                toMov(op, op.a);
+                ++changed;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+};
+
+// ---- block fusion ------------------------------------------------------
+
+class BlockFusion : public GraphPass
+{
+  public:
+    std::string name() const override { return "block-fusion"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &opts) override
+    {
+        Surgeon s(g);
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            if (g.nodes[i].kind != NodeKind::block || s.nodeDead[i])
+                continue;
+            // Chain: keep absorbing the unique downstream block.
+            for (;;) {
+                Node &a = g.nodes[i];
+                if (a.outs.empty())
+                    break;
+                int b = g.links[a.outs[0]].dst;
+                bool unique = b >= 0 && b != static_cast<int>(i) &&
+                    !s.nodeDead[b] &&
+                    g.nodes[b].kind == NodeKind::block &&
+                    // Never fuse across a replicate-region boundary:
+                    // the fused node carries one region id and the
+                    // resource model would misattribute the absorbed
+                    // block's replicated work.
+                    g.nodes[b].replicateRegion == a.replicateRegion;
+                for (int l : a.outs)
+                    unique = unique && g.links[l].dst == b;
+                if (!unique)
+                    break;
+                const Node &bn = g.nodes[b];
+                int extra = 0;
+                for (int l : bn.ins)
+                    extra += g.links[l].src != static_cast<int>(i);
+                int fused_ins = static_cast<int>(a.ins.size()) + extra;
+                int fused_outs = static_cast<int>(bn.outs.size());
+                if (!blockFusionFits(a, bn, fused_ins, fused_outs,
+                                     opts.machine)) {
+                    break;
+                }
+                fuse(g, s, static_cast<int>(i), b);
+                ++rewrites;
+            }
+        }
+        if (rewrites)
+            s.compact();
+        return rewrites;
+    }
+
+  private:
+    /** Merge block @p bi into block @p ai (every @p ai output feeds
+     * @p bi). Register files concatenate; bridge movs join them and
+     * are cleaned up by const-fold on the next iteration. */
+    static void
+    fuse(Dfg &g, Surgeon &s, int ai, int bi)
+    {
+        Node &a = g.nodes[ai];
+        Node &b = g.nodes[bi];
+        const int off = a.nRegs;
+
+        for (size_t j = 0; j < b.ins.size(); ++j) {
+            int l = b.ins[j];
+            if (g.links[l].src != ai)
+                continue;
+            BlockOp mv;
+            mv.kind = OpKind::mov;
+            mv.dst = off + b.inputRegs[j];
+            mv.a = a.outputRegs[indexOf(a.outs, l)];
+            a.ops.push_back(mv);
+        }
+        for (BlockOp op : b.ops) {
+            if (op.dst >= 0)
+                op.dst += off;
+            if (op.a >= 0)
+                op.a += off;
+            if (op.b >= 0)
+                op.b += off;
+            if (op.c >= 0)
+                op.c += off;
+            if (op.guard >= 0)
+                op.guard += off;
+            a.ops.push_back(op);
+        }
+
+        for (int l : a.outs)
+            s.linkDead[l] = 1;
+        a.outs.clear();
+        a.outputRegs.clear();
+        for (size_t k = 0; k < b.outs.size(); ++k) {
+            int l = b.outs[k];
+            g.links[l].src = ai;
+            a.outs.push_back(l);
+            a.outputRegs.push_back(off + b.outputRegs[k]);
+        }
+        for (size_t j = 0; j < b.ins.size(); ++j) {
+            int l = b.ins[j];
+            if (g.links[l].src == ai)
+                continue; // bridge link, already dead
+            g.links[l].dst = ai;
+            a.ins.push_back(l);
+            a.inputRegs.push_back(off + b.inputRegs[j]);
+        }
+        a.nRegs += b.nRegs;
+        a.name += "+" + b.name;
+        a.loopDepth = std::max(a.loopDepth, b.loopDepth);
+        a.foreachDepth = std::max(a.foreachDepth, b.foreachDepth);
+        a.isBulk = a.isBulk || b.isBulk;
+        s.nodeDead[bi] = 1;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GraphPass>
+makeConstFoldPass()
+{
+    return std::make_unique<ConstFold>();
+}
+
+std::unique_ptr<GraphPass>
+makeCopyPropPass()
+{
+    return std::make_unique<CopyProp>();
+}
+
+std::unique_ptr<GraphPass>
+makeFanoutCoalescePass()
+{
+    return std::make_unique<FanoutCoalesce>();
+}
+
+std::unique_ptr<GraphPass>
+makeBlockFusionPass()
+{
+    return std::make_unique<BlockFusion>();
+}
+
+std::unique_ptr<GraphPass>
+makeDeadNodeElimPass()
+{
+    return std::make_unique<DeadNodeElim>();
+}
+
+std::vector<std::unique_ptr<GraphPass>>
+makeDefaultPasses(const GraphPassOptions &opts)
+{
+    std::vector<std::unique_ptr<GraphPass>> out;
+    if (opts.constFold)
+        out.push_back(makeConstFoldPass());
+    if (opts.copyProp)
+        out.push_back(makeCopyPropPass());
+    if (opts.fanoutCoalesce)
+        out.push_back(makeFanoutCoalescePass());
+    if (opts.blockFusion)
+        out.push_back(makeBlockFusionPass());
+    if (opts.deadNodeElim)
+        out.push_back(makeDeadNodeElimPass());
+    return out;
+}
+
+GraphOptReport
+runPasses(Dfg &dfg, const std::vector<std::unique_ptr<GraphPass>> &passes,
+          const GraphPassOptions &opts)
+{
+    GraphOptReport rep;
+    rep.nodesBefore = static_cast<int>(dfg.nodes.size());
+    rep.linksBefore = static_cast<int>(dfg.links.size());
+    for (const auto &pass : passes)
+        rep.rewrites.emplace_back(pass->name(), 0);
+
+    const int max_iters = std::max(1, opts.maxIterations);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        int any = 0;
+        for (size_t pi = 0; pi < passes.size(); ++pi) {
+            int applied = passes[pi]->run(dfg, opts);
+            rep.rewrites[pi].second += applied;
+            any += applied;
+            if (applied && opts.verifyBetweenPasses)
+                dfg.verify();
+        }
+        ++rep.iterations;
+        if (!any)
+            break;
+    }
+    rep.nodesAfter = static_cast<int>(dfg.nodes.size());
+    rep.linksAfter = static_cast<int>(dfg.links.size());
+    return rep;
+}
+
+GraphOptReport
+optimize(Dfg &dfg, const GraphPassOptions &opts)
+{
+    if (!opts.enable) {
+        GraphOptReport rep;
+        rep.nodesBefore = rep.nodesAfter =
+            static_cast<int>(dfg.nodes.size());
+        rep.linksBefore = rep.linksAfter =
+            static_cast<int>(dfg.links.size());
+        return rep;
+    }
+    auto passes = makeDefaultPasses(opts);
+    return runPasses(dfg, passes, opts);
+}
+
+} // namespace graph
+} // namespace revet

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DFG-level optimization framework (the graph half of Figure 8).
+ *
+ * lower.cc emits graphs straightforwardly — passthrough blocks at every
+ * control boundary, chained 2-way fanouts, sinks on every dead link —
+ * and this layer cleans them up with a pipeline of semantics-preserving
+ * rewrites. Every pass must leave the graph Dfg::verify()-clean, and
+ * the equivalence suites require bit-identical DRAM output against the
+ * unoptimized graph and the AST interpreter (WaveCert-style validation
+ * by reference execution).
+ *
+ * The initial suite:
+ *  - constFold: in-block constant folding, algebraic identities,
+ *    copy/alias forwarding, and dead-op elimination;
+ *  - copyProp: eliminate single-input mov-only (wiring) blocks — a
+ *    pure splice or a fanout, never touching multi-input alignment
+ *    blocks (those order memory effects, e.g. the foreach sync block);
+ *  - fanoutCoalesce: fold fanout-of-fanout chains and splice
+ *    degenerate 1-way fanouts into direct links;
+ *  - blockFusion: merge a block whose every output feeds one other
+ *    block, subject to the Table II stage/buffer limits via the
+ *    resource model's cost hooks (graph/resources.hh);
+ *  - deadNodeElim: prune nodes whose outputs all dangle into sinks
+ *    (transitively) and have no memory effects, shrinking fanouts and
+ *    filter/merge bundles along the way.
+ *
+ * Future graph rewrites (replicate bufferization, sub-word packing as
+ * real passes) plug in by implementing GraphPass and appending to the
+ * pipeline.
+ */
+
+#ifndef REVET_GRAPH_OPTIMIZE_HH
+#define REVET_GRAPH_OPTIMIZE_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/dfg.hh"
+#include "sim/machine.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+/** Optimizer configuration, owned by core::CompileOptions. */
+struct GraphPassOptions
+{
+    bool enable = true; ///< master switch (off: lowered graph untouched)
+    bool constFold = true;
+    bool copyProp = true;
+    bool fanoutCoalesce = true;
+    bool blockFusion = true;
+    bool deadNodeElim = true;
+    /** Run Dfg::verify() after every pass application. */
+    bool verifyBetweenPasses = true;
+    /** Fixpoint iteration cap for the whole pipeline. */
+    int maxIterations = 8;
+    /** Table II limits consulted by blockFusion's cost hooks. */
+    sim::MachineConfig machine;
+};
+
+/**
+ * One graph rewrite. Implementations must keep the graph consistent
+ * (verify()-clean) and semantics-preserving: same DRAM output for any
+ * input under any engine scheduling policy.
+ */
+class GraphPass
+{
+  public:
+    virtual ~GraphPass() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Rewrite @p dfg in place.
+     * @return the number of rewrites applied (0 = already at fixpoint).
+     */
+    virtual int run(Dfg &dfg, const GraphPassOptions &opts) = 0;
+};
+
+/** What the optimizer did, for stats/bench reporting. */
+struct GraphOptReport
+{
+    int nodesBefore = 0, nodesAfter = 0;
+    int linksBefore = 0, linksAfter = 0;
+    int iterations = 0;
+    /** Per-pass rewrite totals, in pipeline order. */
+    std::vector<std::pair<std::string, int>> rewrites;
+
+    std::string summary() const;
+};
+
+/** Individual pass factories (used by the per-pass test matrix). */
+std::unique_ptr<GraphPass> makeConstFoldPass();
+std::unique_ptr<GraphPass> makeCopyPropPass();
+std::unique_ptr<GraphPass> makeFanoutCoalescePass();
+std::unique_ptr<GraphPass> makeBlockFusionPass();
+std::unique_ptr<GraphPass> makeDeadNodeElimPass();
+
+/** The default pipeline honoring the per-pass toggles in @p opts. */
+std::vector<std::unique_ptr<GraphPass>>
+makeDefaultPasses(const GraphPassOptions &opts);
+
+/**
+ * Run @p passes over @p dfg to fixpoint (bounded by
+ * opts.maxIterations), verifying between passes per the options.
+ */
+GraphOptReport
+runPasses(Dfg &dfg,
+          const std::vector<std::unique_ptr<GraphPass>> &passes,
+          const GraphPassOptions &opts);
+
+/** Run the default pipeline (no-op when opts.enable is false). */
+GraphOptReport optimize(Dfg &dfg, const GraphPassOptions &opts = {});
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_OPTIMIZE_HH

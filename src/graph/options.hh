@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Graph-level compilation toggles shared across layers.
+ *
+ * These knobs (Section V-B) change how the dataflow graph is mapped
+ * onto machine resources, not program semantics. They are owned by
+ * core::CompileOptions and plumbed into the layers that consume them
+ * (graph/resources.hh); keeping the single definition here prevents
+ * the three-way drift the old copies in passes::PassOptions,
+ * graph::LowerOptions, and graph::ResourceOptions invited.
+ */
+
+#ifndef REVET_GRAPH_OPTIONS_HH
+#define REVET_GRAPH_OPTIONS_HH
+
+namespace revet
+{
+namespace graph
+{
+
+/** Resource-model toggles, mirroring the Figure 12 ablation. */
+struct GraphToggles
+{
+    bool packSubWords = true;       ///< pack i8/i16 across merges
+    bool bufferizeReplicate = true; ///< SRAM-park values around replicate
+    bool hoistAllocators = true;    ///< one global allocator per region
+};
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_OPTIONS_HH

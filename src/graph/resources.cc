@@ -30,7 +30,46 @@ ceilDiv(int a, int b)
     return (a + b - 1) / b;
 }
 
+/** Six registers per lane per stage let several chained ops share one
+ * stage slot (V-D context fusion). */
+constexpr double kOpsPerStage = 6.0;
+
 } // namespace
+
+int
+blockAluOps(const Node &node)
+{
+    int alu = 0;
+    for (const auto &op : node.ops) {
+        if (!isSramOp(op.kind) && !isDramOp(op.kind) &&
+            op.kind != OpKind::cnst && op.kind != OpKind::mov) {
+            ++alu;
+        }
+    }
+    return alu;
+}
+
+double
+blockStageSlots(const Node &node, const sim::MachineConfig &machine)
+{
+    return static_cast<double>(std::max(blockAluOps(node), 1)) /
+        (machine.stages * kOpsPerStage);
+}
+
+bool
+blockFusionFits(const Node &a, const Node &b, int fusedIns, int fusedOuts,
+                const sim::MachineConfig &machine)
+{
+    if (blockAluOps(a) + blockAluOps(b) >
+        machine.stages * static_cast<int>(kOpsPerStage)) {
+        return false;
+    }
+    if (fusedIns > machine.vecBuffers + machine.scalBuffers)
+        return false;
+    if (fusedOuts > machine.vecOutputs + machine.scalOutputs)
+        return false;
+    return true;
+}
 
 ResourceReport
 analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
@@ -88,22 +127,17 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
         int *ag = inner ? &rep.innerAG : &rep.outerAG;
         switch (node.kind) {
           case NodeKind::block: {
-            int alu = 0, sram_ops = 0, dram_ops = 0;
+            int sram_ops = 0, dram_ops = 0;
             for (const auto &op : node.ops) {
                 if (isSramOp(op.kind))
                     ++sram_ops;
                 else if (isDramOp(op.kind))
                     ++dram_ops;
-                else if (op.kind != OpKind::cnst &&
-                         op.kind != OpKind::mov)
-                    ++alu;
             }
-            // Six registers per lane per stage let several chained
-            // ops share one stage slot; small contexts fuse.
-            const double ops_per_stage = 6.0;
+            // Small contexts fuse (same cost hook the graph optimizer's
+            // block-fusion pass consults).
             (inner ? inner_stage_slots : outer_stage_slots) +=
-                static_cast<double>(std::max(alu, 1)) /
-                (machine.stages * ops_per_stage);
+                blockStageSlots(node, machine);
             // Memory ops map onto MU/AG contexts; accesses to one
             // buffer share its MU banks (V-D(b)).
             *mu += ceilDiv(sram_ops, 4);
@@ -114,7 +148,7 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
           case NodeKind::fbMerge: {
             // Two vector-vector merges per context; four scalar-vector.
             int width = static_cast<int>(node.outs.size());
-            if (opts.packSubWords) {
+            if (opts.toggles.packSubWords) {
                 // Pack narrow live values into shared 32-bit lanes.
                 int bits = 0;
                 for (int l : node.outs)
@@ -151,7 +185,7 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
     for (const auto &region : dfg.replicates) {
         int live = region.liveValuesIn;
         int parked = region.bufferized;
-        if (!opts.bufferizeReplicate) {
+        if (!opts.toggles.bufferizeReplicate) {
             // Pass-over values must be carried through the region's
             // distribution and merge trees instead of parked in SRAM.
             live += parked;
@@ -160,7 +194,7 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
         // Work distribution: one filter tree + retiming per replica;
         // collection: a forward-merge tree.
         rep.replCU += ceilDiv(region.replicas * std::max(live, 1), 4);
-        rep.replMU += opts.hoistAllocators ? 1 : region.replicas;
+        rep.replMU += opts.toggles.hoistAllocators ? 1 : region.replicas;
         rep.bufferMU += parked > 0 ? ceilDiv(parked, 4) : 0;
         rep.retimeMU += region.replicas; // link-retiming buffers
     }

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "graph/dfg.hh"
+#include "graph/options.hh"
 #include "sim/machine.hh"
 
 namespace revet
@@ -29,10 +30,10 @@ namespace graph
 /** Knobs for the Figure 12 ablation (graph-level optimizations). */
 struct ResourceOptions
 {
-    bool packSubWords = true;       ///< pack i8/i16 across merges
-    bool bufferizeReplicate = true; ///< SRAM-park values around replicate
-    bool hoistAllocators = true;    ///< one global allocator per region
-    int replicateOverride = 0;      ///< >0: force replicate factor
+    /** Canonical copy lives in core::CompileOptions; the harness plumbs
+     * it through here so the three layers cannot drift. */
+    GraphToggles toggles;
+    int replicateOverride = 0; ///< >0: force replicate factor
 };
 
 /** One pipeline's resource footprint + the scaled totals (Table IV). */
@@ -62,6 +63,24 @@ struct ResourceReport
 /** Analyze @p dfg against @p machine. Marks link widths in place. */
 ResourceReport analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
                                 const ResourceOptions &opts = {});
+
+// ---- cost hooks shared with the graph optimizer ------------------------
+
+/** Stage-occupying op count of a block (cnst/mov and memory ops ride
+ * along for free; memory ops are MU/AG contexts, not CU stages). */
+int blockAluOps(const Node &node);
+
+/** Fractional CU stage-slot cost of one block context (V-D fusion). */
+double blockStageSlots(const Node &node, const sim::MachineConfig &machine);
+
+/**
+ * True if fusing blocks @p a and @p b stays within a single CU
+ * context's Table II budget: combined stage-occupying ops within one
+ * context's stage capacity, and the fused node's link fan-in/fan-out
+ * within the per-unit input/output buffer counts.
+ */
+bool blockFusionFits(const Node &a, const Node &b, int fusedIns,
+                     int fusedOuts, const sim::MachineConfig &machine);
 
 } // namespace graph
 } // namespace revet

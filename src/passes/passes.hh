@@ -37,15 +37,15 @@ namespace revet
 namespace passes
 {
 
-/** Pass toggles, mirroring the ablation study of Figure 12. */
+/** HIR pass toggles, mirroring the ablation study of Figure 12.
+ * (Graph-level toggles — sub-word packing, replicate bufferization,
+ * allocator hoisting — live in graph::GraphToggles, owned by
+ * core::CompileOptions.) */
 struct PassOptions
 {
     bool lowerAdapters = true;
     bool eliminateHierarchy = true; ///< honor eliminate_hierarchy pragmas
     bool ifToSelect = true;
-    bool packSubWords = true;       ///< graph-level (resource model)
-    bool bufferizeReplicate = true; ///< graph-level (resource model)
-    bool hoistAllocators = true;    ///< graph-level (resource model)
 };
 
 /** Lower views and iterators to SRAM + scalars + control flow. */

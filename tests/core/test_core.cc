@@ -12,6 +12,7 @@
 #include <random>
 
 #include "apps/apps.hh"
+#include "apps/harness.hh"
 #include "core/revet.hh"
 #include "lang/lex.hh"
 
@@ -100,6 +101,35 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return n;
     });
+
+TEST(CoreApi, GraphTogglesReachResourceModel)
+{
+    // The graph-level toggles are owned by CompileOptions and plumbed
+    // into graph::ResourceOptions by the harness; if that plumbing
+    // breaks, the Figure 12 ablation silently measures nothing. isipv4
+    // has a replicate(2) region, so allocator hoisting is observable.
+    const auto &app = apps::findApp("isipv4");
+    CompileOptions def, nohoist;
+    nohoist.graph.hoistAllocators = false;
+    auto a = apps::runApp(app, 4, def);
+    auto b = apps::runApp(app, 4, nohoist);
+    EXPECT_LT(a.resources.replMU, b.resources.replMU)
+        << "hoistAllocators=false must cost one allocator MU per "
+           "replica instead of one per region";
+}
+
+TEST(CoreApi, OptReportSurfacesGraphOptimizerWin)
+{
+    const auto &app = apps::findApp("murmur3");
+    auto prog = CompiledProgram::compile(app.source);
+    const auto &rep = prog.optReport();
+    EXPECT_LT(rep.nodesAfter, rep.nodesBefore);
+    EXPECT_EQ(rep.nodesAfter, static_cast<int>(prog.dfg().nodes.size()));
+    int total_rewrites = 0;
+    for (const auto &[pass, count] : rep.rewrites)
+        total_rewrites += count;
+    EXPECT_GT(total_rewrites, 0);
+}
 
 TEST(CoreApi, RandomizedCollatzStress)
 {
