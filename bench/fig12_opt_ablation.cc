@@ -25,10 +25,10 @@ main()
     variants[1].name = "No If Conv.";
     variants[1].copts.passes.ifToSelect = false;
     variants[2].name = "No Buffer";
-    variants[2].copts.graph.bufferizeReplicate = false;
+    variants[2].copts.graphOpt.replicateBufferize = false;
     variants[2].copts.graph.hoistAllocators = false;
     variants[3].name = "No Pack";
-    variants[3].copts.graph.packSubWords = false;
+    variants[3].copts.graphOpt.subwordPack = false;
 
     std::printf("=== Figure 12: resource increase with passes "
                 "disabled (x default) ===\n");

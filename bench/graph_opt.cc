@@ -1,30 +1,38 @@
 /**
  * @file
- * DFG optimizer before/after comparison on the Table III applications.
+ * DFG optimizer before/after comparison on the Table III applications
+ * plus two replicate-heavy fixtures.
  *
- * For every app fixture the program is compiled twice — optimizer off
- * (the naive lowered graph) and on (the default pipeline) — and both
- * graphs are executed on identically generated DRAM images. The bench
- * asserts:
+ * For every fixture the program is compiled twice — optimizer off (the
+ * naive lowered graph) and on (the default pipeline) — and both graphs
+ * are executed on identically generated DRAM images. The bench asserts:
  *
  *  - bit-identical DRAM output between the two graphs, and the app's
  *    golden verifier passes on the optimized run;
  *  - >= 15% reduction in total node count summed across the apps;
  *  - >= 15% reduction in total ExecStats::schedSteps summed across the
- *    apps (the scheduler work the optimizer exists to save).
+ *    apps (the scheduler work the optimizer exists to save);
+ *  - >= 10% reduction in bufferMU summed across the replicate-heavy
+ *    fixtures: the replicate-bufferize pass must park pass-over values
+ *    in SRAM instead of carrying them through every replica's
+ *    distribution/collection trees.
  *
  * Exits non-zero on violation so CI can run it as a guardrail (it is
  * registered with CTest as bench.graph_opt), mirroring the
  * engine_sched.cc acceptance-gate pattern. One machine-readable JSON
- * line per app (and a summary line) feeds the bench trajectory.
+ * line per fixture (and a summary line) feeds the bench trajectory;
+ * the lines carry replMU/bufferMU before/after so the perf trajectory
+ * captures the replicate-bufferize and sub-word packing passes.
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "apps/apps.hh"
 #include "core/revet.hh"
+#include "graph/resources.hh"
 
 using namespace revet;
 
@@ -34,24 +42,128 @@ namespace
 struct RunResult
 {
     uint64_t nodes = 0, links = 0, schedSteps = 0;
+    int replMU = 0, bufferMU = 0;
     std::vector<std::vector<uint8_t>> dram;
     std::string verifyError;
 };
 
+using Generate = std::function<std::vector<int32_t>(lang::DramImage &)>;
+using Verify = std::function<std::string(lang::DramImage &)>;
+
 RunResult
-runOnce(const apps::App &app, int scale, const CompileOptions &opts)
+runOnce(const std::string &source, const Generate &generate,
+        const CompileOptions &opts, const Verify &verify = {})
 {
-    auto prog = CompiledProgram::compile(app.source, opts);
+    auto prog = CompiledProgram::compile(source, opts);
     lang::DramImage dram(prog.hir());
-    auto args = app.generate(dram, scale);
+    auto args = generate(dram);
     auto stats = prog.execute(dram, args);
     RunResult out;
     out.nodes = stats.graphNodes;
     out.links = stats.graphLinks;
     out.schedSteps = stats.schedSteps;
+    graph::Dfg dfg = prog.dfg(); // copy: link analysis annotates widths
+    sim::MachineConfig machine;
+    auto res = graph::analyzeResources(dfg, machine, {});
+    out.replMU = res.replMU;
+    out.bufferMU = res.bufferMU;
     for (int d = 0; d < dram.dramCount(); ++d)
         out.dram.push_back(dram.bytes(d));
-    out.verifyError = app.verify(dram, scale);
+    if (verify)
+        out.verifyError = verify(dram);
+    return out;
+}
+
+/** Replicate-heavy sources: order-preserving compute regions with
+ * several live values passing over them, the V-C(d) shape the
+ * replicate-bufferize pass exists for. */
+struct Fixture
+{
+    const char *name;
+    const char *source;
+    Generate generate;
+    Verify verify; ///< golden check, run on the optimized execution
+    bool replicateHeavy = false;
+};
+
+const char *replHashSrc = R"(
+DRAM<int> data; DRAM<int> out;
+void main(int n) {
+  foreach (n) { int t =>
+    int a = data[t];
+    int k1 = t * 3 + 1;
+    int k2 = t ^ 1337;
+    int k3 = t + 40;
+    int k4 = a * 5;
+    int h = a;
+    replicate (4) {
+      h = h * 31 + 7;
+      h = h ^ (h / 64);
+      h = h * 13 + 3;
+      h = h ^ (h / 32);
+    };
+    out[t] = h + k1 + k2 - k3 + k4;
+  };
+}
+)";
+
+const char *replCrcSrc = R"(
+DRAM<int> words; DRAM<int> out;
+void main(int n) {
+  foreach (n) { int t =>
+    int w = words[t];
+    int tag = t * 17 + 9;
+    int salt = w ^ 255;
+    short lo = w;
+    int crc = w;
+    replicate (8) {
+      crc = crc * 33 + 1;
+      crc = crc ^ (crc / 16);
+    };
+    replicate (2) {
+      crc = crc + 255;
+    };
+    out[t] = crc + tag - salt + lo;
+  };
+}
+)";
+
+std::vector<Fixture>
+fixtures(int scale)
+{
+    std::vector<Fixture> out;
+    for (const auto &app : apps::allApps()) {
+        const apps::App *a = &app;
+        out.push_back({a->name.c_str(), a->source.c_str(),
+                       [a, scale](lang::DramImage &dram) {
+                           return a->generate(dram, scale);
+                       },
+                       [a, scale](lang::DramImage &dram) {
+                           return a->verify(dram, scale);
+                       },
+                       false});
+    }
+    const int n = 64 * scale;
+    out.push_back({"repl-hash", replHashSrc,
+                   [n](lang::DramImage &dram) {
+                       std::vector<int32_t> data(n);
+                       for (int i = 0; i < n; ++i)
+                           data[i] = i * 91 + 5;
+                       dram.fill("data", data);
+                       dram.resize("out", n * 4);
+                       return std::vector<int32_t>{n};
+                   },
+                   Verify{}, true});
+    out.push_back({"repl-crc", replCrcSrc,
+                   [n](lang::DramImage &dram) {
+                       std::vector<int32_t> words(n);
+                       for (int i = 0; i < n; ++i)
+                           words[i] = i * 2654435761u;
+                       dram.fill("words", words);
+                       dram.resize("out", n * 4);
+                       return std::vector<int32_t>{n};
+                   },
+                   Verify{}, true});
     return out;
 }
 
@@ -61,11 +173,13 @@ int
 main()
 {
     const int scale = 4;
-    const double bar = 0.15; // required relative reduction
+    const double bar = 0.15;        // required relative reduction
+    const double buffer_bar = 0.10; // bufferMU bar (replicate-heavy)
     bool ok = true;
     uint64_t nodes_off = 0, nodes_on = 0;
     uint64_t links_off = 0, links_on = 0;
     uint64_t steps_off = 0, steps_on = 0;
+    int buffer_off = 0, buffer_on = 0;
 
     CompileOptions off;
     off.graphOpt.enable = false;
@@ -74,50 +188,57 @@ main()
     std::printf("graph_opt: DFG optimizer on vs off, app fixtures at "
                 "scale %d\n",
                 scale);
-    std::printf("  %-10s | %5s -> %-5s | %5s -> %-5s | %9s -> %-9s\n",
-                "app", "nodes", "nodes", "links", "links", "schedSteps",
-                "schedSteps");
-    for (const auto &app : apps::allApps()) {
-        RunResult a = runOnce(app, scale, off);
-        RunResult b = runOnce(app, scale, on);
+    std::printf("  %-10s | %5s -> %-5s | %9s -> %-9s | %8s -> %-8s\n",
+                "app", "nodes", "nodes", "schedSteps", "schedSteps",
+                "bufferMU", "bufferMU");
+    for (const auto &fixture : fixtures(scale)) {
+        RunResult a = runOnce(fixture.source, fixture.generate, off);
+        RunResult b =
+            runOnce(fixture.source, fixture.generate, on, fixture.verify);
         if (a.dram != b.dram) {
             std::printf("  FAIL(%s): DRAM output diverged between "
                         "optimized and unoptimized graphs\n",
-                        app.name.c_str());
+                        fixture.name);
             ok = false;
         }
         if (!b.verifyError.empty()) {
             std::printf("  FAIL(%s): golden verifier: %s\n",
-                        app.name.c_str(), b.verifyError.c_str());
+                        fixture.name, b.verifyError.c_str());
             ok = false;
         }
-        std::printf("  %-10s | %5llu -> %-5llu | %5llu -> %-5llu | "
-                    "%9llu -> %-9llu\n",
-                    app.name.c_str(),
+        std::printf("  %-10s | %5llu -> %-5llu | %9llu -> %-9llu | "
+                    "%8d -> %-8d\n",
+                    fixture.name,
                     static_cast<unsigned long long>(a.nodes),
                     static_cast<unsigned long long>(b.nodes),
-                    static_cast<unsigned long long>(a.links),
-                    static_cast<unsigned long long>(b.links),
                     static_cast<unsigned long long>(a.schedSteps),
-                    static_cast<unsigned long long>(b.schedSteps));
+                    static_cast<unsigned long long>(b.schedSteps),
+                    a.bufferMU, b.bufferMU);
         std::printf("{\"bench\":\"graph_opt\",\"app\":\"%s\","
                     "\"scale\":%d,\"nodes_before\":%llu,"
                     "\"nodes_after\":%llu,\"links_before\":%llu,"
                     "\"links_after\":%llu,\"sched_steps_before\":%llu,"
-                    "\"sched_steps_after\":%llu}\n",
-                    app.name.c_str(), scale,
+                    "\"sched_steps_after\":%llu,\"repl_mu_before\":%d,"
+                    "\"repl_mu_after\":%d,\"buffer_mu_before\":%d,"
+                    "\"buffer_mu_after\":%d}\n",
+                    fixture.name, scale,
                     static_cast<unsigned long long>(a.nodes),
                     static_cast<unsigned long long>(b.nodes),
                     static_cast<unsigned long long>(a.links),
                     static_cast<unsigned long long>(b.links),
                     static_cast<unsigned long long>(a.schedSteps),
-                    static_cast<unsigned long long>(b.schedSteps));
+                    static_cast<unsigned long long>(b.schedSteps),
+                    a.replMU, b.replMU, a.bufferMU, b.bufferMU);
         nodes_off += a.nodes;
         nodes_on += b.nodes;
         links_off += a.links;
         links_on += b.links;
         steps_off += a.schedSteps;
         steps_on += b.schedSteps;
+        if (fixture.replicateHeavy) {
+            buffer_off += a.bufferMU;
+            buffer_on += b.bufferMU;
+        }
     }
 
     double node_red = 1.0 - static_cast<double>(nodes_on) /
@@ -126,8 +247,13 @@ main()
         static_cast<double>(links_off);
     double step_red = 1.0 - static_cast<double>(steps_on) /
         static_cast<double>(steps_off);
+    double buffer_red = buffer_off > 0
+        ? 1.0 - static_cast<double>(buffer_on) /
+            static_cast<double>(buffer_off)
+        : 0.0;
     std::printf("  total nodes %llu -> %llu (-%.1f%%), links %llu -> "
-                "%llu (-%.1f%%), schedSteps %llu -> %llu (-%.1f%%)\n",
+                "%llu (-%.1f%%), schedSteps %llu -> %llu (-%.1f%%), "
+                "replicate-heavy bufferMU %d -> %d (-%.1f%%)\n",
                 static_cast<unsigned long long>(nodes_off),
                 static_cast<unsigned long long>(nodes_on),
                 100 * node_red,
@@ -136,11 +262,13 @@ main()
                 100 * link_red,
                 static_cast<unsigned long long>(steps_off),
                 static_cast<unsigned long long>(steps_on),
-                100 * step_red);
+                100 * step_red, buffer_off, buffer_on,
+                100 * buffer_red);
     std::printf("{\"bench\":\"graph_opt\",\"app\":\"TOTAL\",\"scale\":%d,"
                 "\"node_reduction\":%.4f,\"link_reduction\":%.4f,"
-                "\"sched_step_reduction\":%.4f}\n",
-                scale, node_red, link_red, step_red);
+                "\"sched_step_reduction\":%.4f,"
+                "\"buffer_mu_reduction\":%.4f}\n",
+                scale, node_red, link_red, step_red, buffer_red);
 
     if (node_red < bar) {
         std::printf("  FAIL: node reduction %.1f%% below the %.0f%% "
@@ -152,6 +280,12 @@ main()
         std::printf("  FAIL: schedSteps reduction %.1f%% below the "
                     "%.0f%% acceptance bar\n",
                     100 * step_red, 100 * bar);
+        ok = false;
+    }
+    if (buffer_off == 0 || buffer_red < buffer_bar) {
+        std::printf("  FAIL: replicate-heavy bufferMU reduction %.1f%% "
+                    "below the %.0f%% acceptance bar (before=%d)\n",
+                    100 * buffer_red, 100 * buffer_bar, buffer_off);
         ok = false;
     }
     return ok ? 0 : 1;

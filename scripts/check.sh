@@ -26,7 +26,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-SUITES=(apps core dataflow graph interp lang passes sim sltf)
+SUITES=(apps core dataflow fuzz graph interp lang passes sim sltf)
 
 smoke() {
     local build_dir="$1"
@@ -100,6 +100,12 @@ if [[ "$sanitize" == ON ]]; then
     echo "== optimizer equivalence (sanitized)"
     "$build_dir/tests/revet_test_graph" \
         --gtest_filter='*GraphOptEquiv*:*GraphOptStructure*:*GraphOptPipeline*'
+    # The randomized DFG differential suite, pinned to a fixed seed so
+    # the instrumented run is reproducible (override via REVET_FUZZ_SEED
+    # to replay a CI failure under the sanitizers).
+    echo "== optimizer fuzz differential (sanitized, fixed seed)"
+    REVET_FUZZ_SEED="${REVET_FUZZ_SEED:-20260730}" \
+        "$build_dir/tests/revet_test_fuzz"
     echo "== check.sh: all green (ASan+UBSan)"
     exit 0
 fi

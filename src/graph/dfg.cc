@@ -109,8 +109,80 @@ toString(NodeKind kind)
       case NodeKind::fanout: return "fanout";
       case NodeKind::source: return "source";
       case NodeKind::sink: return "sink";
+      case NodeKind::park: return "park";
+      case NodeKind::restore: return "restore";
     }
     return "?";
+}
+
+std::vector<int>
+Dfg::replicatePassOverLinks(int region) const
+{
+    const size_t n_nodes = nodes.size();
+    std::vector<char> in_region(n_nodes, 0);
+    for (const auto &n : nodes) {
+        if (n.replicateRegion == region)
+            in_region[n.id] = 1;
+    }
+
+    // Classify every node relative to the region: "before" nodes reach
+    // it (their thread continues into the region), "after" nodes are
+    // reached from it. A node that is both (a cycle through the region,
+    // e.g. a while loop enclosing it) is ambiguous and claims neither
+    // side, so its links are never parked.
+    std::vector<char> reaches(n_nodes, 0), reached(n_nodes, 0);
+    std::vector<int> work;
+    for (size_t i = 0; i < n_nodes; ++i) {
+        if (in_region[i]) {
+            reaches[i] = reached[i] = 1;
+            work.push_back(static_cast<int>(i));
+        }
+    }
+    std::vector<int> fwd = work;
+    while (!work.empty()) {
+        int id = work.back();
+        work.pop_back();
+        for (int l : nodes[id].ins) {
+            int p = links[l].src;
+            if (p >= 0 && !reaches[p]) {
+                reaches[p] = 1;
+                work.push_back(p);
+            }
+        }
+    }
+    while (!fwd.empty()) {
+        int id = fwd.back();
+        fwd.pop_back();
+        for (int l : nodes[id].outs) {
+            int c = links[l].dst;
+            if (c >= 0 && !reached[c]) {
+                reached[c] = 1;
+                fwd.push_back(c);
+            }
+        }
+    }
+
+    std::vector<int> out;
+    for (const auto &l : links) {
+        if (l.src < 0 || l.dst < 0)
+            continue;
+        if (in_region[l.src] || in_region[l.dst])
+            continue;
+        bool src_before = reaches[l.src] && !reached[l.src];
+        bool dst_after = reached[l.dst] && !reaches[l.dst];
+        if (src_before && dst_after)
+            out.push_back(l.id);
+    }
+    return out;
+}
+
+int
+Dfg::replicateParkedValues(int region) const
+{
+    int parked = 0;
+    for (const auto &n : nodes)
+        parked += n.kind == NodeKind::park && n.parkRegion == region;
+    return parked;
 }
 
 std::string
@@ -123,8 +195,15 @@ Dfg::toDot() const
            << n.name;
         if (n.kind == NodeKind::block)
             os << "\\n" << n.ops.size() << " ops";
-        os << "\" shape=" << (n.kind == NodeKind::block ? "box" : "ellipse")
-           << "];\n";
+        // SRAM park/restore pairs render as cylinders tagged with the
+        // replicate region they buffer around.
+        if (n.kind == NodeKind::park || n.kind == NodeKind::restore)
+            os << "\\nregion " << n.parkRegion;
+        const char *shape = n.kind == NodeKind::block ? "box"
+            : (n.kind == NodeKind::park || n.kind == NodeKind::restore)
+            ? "cylinder"
+            : "ellipse";
+        os << "\" shape=" << shape << "];\n";
     }
     // Links carry their element type and vector-vs-scalar network
     // class (scalar links render dashed).
@@ -238,6 +317,31 @@ Dfg::verify() const
           case NodeKind::sink:
             need(n.ins.size() == 1 && n.outs.empty(), "sink arity");
             break;
+          case NodeKind::park: {
+            need(n.ins.size() == 1 && n.outs.size() == 1,
+                 "park needs 1 in / 1 out");
+            need(n.parkRegion >= 0 &&
+                     n.parkRegion < static_cast<int>(replicates.size()),
+                 "park region id out of range");
+            const Link &out = links[n.outs[0]];
+            need(out.dst >= 0 &&
+                     nodes[out.dst].kind == NodeKind::restore &&
+                     nodes[out.dst].parkRegion == n.parkRegion,
+                 "park must feed the matching restore");
+            break;
+          }
+          case NodeKind::restore: {
+            need(n.ins.size() == 1 && n.outs.size() == 1,
+                 "restore needs 1 in / 1 out");
+            need(n.parkRegion >= 0 &&
+                     n.parkRegion < static_cast<int>(replicates.size()),
+                 "restore region id out of range");
+            const Link &in = links[n.ins[0]];
+            need(in.src >= 0 && nodes[in.src].kind == NodeKind::park &&
+                     nodes[in.src].parkRegion == n.parkRegion,
+                 "restore must be fed by the matching park");
+            break;
+          }
           case NodeKind::block:
             need(n.ins.size() == n.inputRegs.size(),
                  "block input register mismatch");

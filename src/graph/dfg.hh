@@ -89,6 +89,8 @@ enum class NodeKind
     fanout,    ///< copy one link to several consumers
     source,    ///< program entry stream
     sink,      ///< consumes a dangling stream
+    park,      ///< SRAM-park a stream passing over a replicate region
+    restore,   ///< matching read-back on the far side of the region
 };
 
 std::string toString(NodeKind kind);
@@ -117,6 +119,9 @@ struct Node
     // source payload: initial token stream
     sltf::TokenStream seed;
 
+    // park/restore: the replicate region this pair buffers around.
+    int parkRegion = -1;
+
     // annotations for resource/timing models
     int loopDepth = 0;    ///< enclosing while-loop nesting
     int foreachDepth = 0; ///< enclosing foreach nesting
@@ -131,6 +136,10 @@ struct Link
     int src = -1; ///< producer node
     int dst = -1; ///< consumer node
     bool vector = true; ///< vector vs scalar network resource
+    /** Element type. Invariant: values on a narrow (sub-32-bit) link
+     * are normalize(elem)-canonical — lowering norms on assignment —
+     * which is what lets the sub-word packing pass share a 32-bit lane
+     * between narrow streams without changing their values. */
     Scalar elem = Scalar::i32;
 };
 
@@ -140,7 +149,10 @@ struct ReplicateInfo
     int id = -1;
     int replicas = 1;
     int liveValuesIn = 0;  ///< live values entering the region
-    int bufferized = 0;    ///< live values parked in SRAM around it
+    /** Pass-over values parked in SRAM around the region. Zero out of
+     * lowering; the replicate-bufferize GraphPass re-derives it from
+     * the rewritten graph (count of park/restore pairs). */
+    int bufferized = 0;
     std::vector<int> nodeIds; ///< nodes inside the region
 };
 
@@ -192,6 +204,19 @@ struct Dfg
 
     /** Graphviz rendering for debugging / docs. */
     std::string toDot() const;
+
+    /**
+     * Links that pass over replicate region @p region: produced outside
+     * the region by a node that feeds into it, consumed outside the
+     * region by a node it feeds into, without the link itself entering
+     * the region. These are the Section V-C(d) bufferization candidates;
+     * already-parked segments (park/restore detours) do not reappear.
+     */
+    std::vector<int> replicatePassOverLinks(int region) const;
+
+    /** Park/restore pairs serving region @p region (graph-derived
+     * counterpart of ReplicateInfo::bufferized). */
+    int replicateParkedValues(int region) const;
 
     /** Consistency check: ids equal container indices, every link has
      * exactly one producer and one consumer that list it back, node

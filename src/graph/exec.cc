@@ -238,6 +238,25 @@ execute(const Dfg &dfg, lang::DramImage &dram,
                 bundleOut());
             break;
           }
+          case NodeKind::park:
+          case NodeKind::restore: {
+            // SRAM park/restore detour around a replicate region: an
+            // in-order FIFO through an MU buffer, so functionally an
+            // identity on the stream. The park side accounts the
+            // write, the restore side the read.
+            const bool is_park = node.kind == NodeKind::park;
+            auto fn = [mem, is_park](const std::vector<Word> &in,
+                                     std::vector<Word> &out) {
+                ++mem->stats.sramAccesses;
+                if (is_park)
+                    ++mem->stats.sramParkedElems;
+                out.push_back(in[0]);
+            };
+            engine.make<dataflow::ElementWise>(uname, bundleIn(0, 1),
+                                               bundleOut(),
+                                               std::move(fn));
+            break;
+          }
         }
     }
 

@@ -42,6 +42,10 @@ struct ExecStats
     uint64_t dramWriteBytes = 0;
     uint64_t sramAccesses = 0;
     uint64_t sramAllocs = 0;
+    /** Elements that round-tripped through a replicate park/restore
+     * pair (each element costs one SRAM write and one read, also
+     * counted in sramAccesses). */
+    uint64_t sramParkedElems = 0;
     /** Size of the executed graph (reports the optimizer's win when
      * compared against an unoptimized compile of the same program). */
     uint64_t graphNodes = 0;

@@ -942,6 +942,36 @@ class Lowering
         env_ = std::move(new_env);
     }
 
+    /** True if @p s can change the thread stream's order or count:
+     * while/if/exit/return, or a fork declaration (varDecl initialized
+     * with forkExpr multiplies the thread count). */
+    static bool
+    bodyReordersThreads(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::whileStmt:
+          case StmtKind::ifStmt:
+          case StmtKind::exitStmt:
+          case StmtKind::returnStmt:
+            return true;
+          case StmtKind::varDecl:
+            if (s.value && s.value->kind == ExprKind::forkExpr)
+                return true;
+            break;
+          default:
+            break;
+        }
+        for (const auto &child : s.body) {
+            if (bodyReordersThreads(*child))
+                return true;
+        }
+        for (const auto &child : s.other) {
+            if (bodyReordersThreads(*child))
+                return true;
+        }
+        return false;
+    }
+
     bool
     lowerReplicate(const Stmt &s, const std::set<int> &liveAfter)
     {
@@ -951,19 +981,67 @@ class Lowering
         std::set<int> body_uses;
         for (const auto &child : s.body)
             addUses(*child, body_uses);
+        // The region boundary is a placement boundary: close the
+        // pending block before entering so preceding straight-line
+        // work is not replicated with the region, and values that
+        // pass over the region (produced before, consumed after,
+        // untouched inside) exist as real crossing links for the
+        // replicate-bufferize pass to park.
+        std::set<int> live_need = liveAfter;
+        live_need.insert(body_uses.begin(), body_uses.end());
+        flushBlock(live_need, {});
         for (int slot : body_uses)
             info.liveValuesIn += available(slot) ? 1 : 0;
-        // Live values that pass over (not into) the region can be
-        // bufferized in SRAM around it (Section V-B(b)).
-        for (int slot : liveAfter) {
-            if (available(slot) && !body_uses.count(slot))
-                ++info.bufferized;
+        // Stash streams the body neither reads nor writes out of the
+        // environment while lowering it: otherwise inner control flow
+        // would thread the pass-over values through the region's
+        // replicated machinery, exactly the carry cost bufferization
+        // exists to avoid. Their pre-region links come back afterwards
+        // as region-crossing links for the replicate-bufferize pass to
+        // park. Only valid while the body keeps the thread stream
+        // intact: a while loop (iteration-order exits), a
+        // filter-lowered if, a thread-terminating exit/return, or a
+        // fork (which multiplies the thread count) re-pairs the region
+        // output with a bypassing stream incorrectly, so such bodies
+        // keep carrying every live value through their bundles. (A
+        // nested foreach is order-safe — its reduce re-collapses to
+        // one element per parent thread in parent order — but any of
+        // the disqualifying constructs anywhere below refuses,
+        // conservative.)
+        bool reorders = false;
+        for (const auto &child : s.body)
+            reorders = reorders || bodyReordersThreads(*child);
+        std::set<int> body_defs;
+        for (const auto &child : s.body)
+            passes::collectDefs(*child, body_defs);
+        std::map<int, int> stashed;
+        if (!reorders) {
+            for (auto it = env_.begin(); it != env_.end();) {
+                int slot = it->first;
+                if (slot != threadToken && !body_uses.count(slot) &&
+                    !body_defs.count(slot)) {
+                    stashed.emplace(slot, it->second);
+                    it = env_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
         }
+        // Pass-over values are found structurally by the replicate-
+        // bufferize graph pass, which parks them in SRAM and records
+        // the count in `bufferized`.
         dfg_.replicates.push_back(info);
         int saved = curReplicate_;
         curReplicate_ = info.id;
         bool alive = lowerList(s.body, liveAfter);
+        // Close the body's pending block while still inside the region
+        // so a pure element-wise body materializes as region nodes
+        // (and its live outputs leave through the region boundary)
+        // instead of melting into the surrounding context.
+        if (alive)
+            flushBlock(liveAfter, {});
         curReplicate_ = saved;
+        env_.insert(stashed.begin(), stashed.end());
         return alive;
     }
 

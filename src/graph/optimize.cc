@@ -882,6 +882,396 @@ class BlockFusion : public GraphPass
     }
 };
 
+// ---- replicate bufferization (Section V-C(d)) --------------------------
+
+class ReplicateBufferize : public GraphPass
+{
+  public:
+    std::string name() const override { return "replicate-bufferize"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &opts) override
+    {
+        if (g.replicates.empty())
+            return 0;
+
+        // Pass-over candidates per region, collected up front so a
+        // link entangled with more than one region (nested or chained
+        // regions) can be refused outright: a single park/restore pair
+        // cannot sit on the correct side of two boundaries.
+        const int n_regions = static_cast<int>(g.replicates.size());
+        std::vector<std::vector<int>> crossings(n_regions);
+        std::vector<int> owner(g.links.size(), -1); // -2: contested
+        for (int r = 0; r < n_regions; ++r) {
+            crossings[r] = g.replicatePassOverLinks(r);
+            for (int l : crossings[r])
+                owner[l] = owner[l] == -1 ? r : -2;
+        }
+
+        int rewrites = 0;
+        for (int r = 0; r < n_regions; ++r) {
+            // A park/restore detour re-pairs the parked stream with the
+            // region output positionally, so the region body must keep
+            // the thread stream intact. Filters and merges (a while
+            // header, an if join, thread exits) reorder threads, and
+            // counters/flattens/broadcasts/reduces change the element
+            // count unless exactly paired — only element-wise content
+            // (blocks, fanouts, sinks) is known safe; anything else
+            // keeps the region carrying its pass-over values.
+            bool order_safe = true;
+            for (const auto &n : g.nodes) {
+                if (n.replicateRegion == r &&
+                    n.kind != NodeKind::block &&
+                    n.kind != NodeKind::fanout &&
+                    n.kind != NodeKind::sink) {
+                    order_safe = false;
+                    break;
+                }
+            }
+            if (!order_safe) {
+                g.replicates[r].bufferized = g.replicateParkedValues(r);
+                continue;
+            }
+            std::vector<int> elig;
+            for (int l : crossings[r]) {
+                if (owner[l] != r)
+                    continue; // nested-region refusal
+                const Node &src = g.nodes[g.links[l].src];
+                const Node &dst = g.nodes[g.links[l].dst];
+                // Endpoints inside some other replicate region would
+                // put the park inside that region and replicate it.
+                if (src.replicateRegion >= 0 || dst.replicateRegion >= 0)
+                    continue;
+                if (isParkKind(src.kind) || isParkKind(dst.kind))
+                    continue;
+                // Dangling streams die in DCE; parking them buys
+                // nothing and would pin the sink alive.
+                if (dst.kind == NodeKind::sink)
+                    continue;
+                // A value also consumed inside the region already
+                // rides its distribution/collection trees; the pass-
+                // over copy is not a pure pass-over (V-C(d)).
+                if (valueEntersRegion(g, l, r))
+                    continue;
+                elig.push_back(l);
+            }
+            int parked = g.replicateParkedValues(r);
+            // Table II budget: one parked value per MU bank of the
+            // region's park buffer. Overflow bails the whole region —
+            // the collection trees must then be sized for the carried
+            // set anyway, so a partial park would not shrink them.
+            if (parked + static_cast<int>(elig.size()) >
+                opts.machine.muBanks) {
+                g.replicates[r].bufferized = parked;
+                continue;
+            }
+            for (int l : elig) {
+                parkLink(g, l, r);
+                ++rewrites;
+            }
+            g.replicates[r].bufferized =
+                parked + static_cast<int>(elig.size());
+        }
+        return rewrites;
+    }
+
+  private:
+    static bool
+    isParkKind(NodeKind kind)
+    {
+        return kind == NodeKind::park || kind == NodeKind::restore;
+    }
+
+    /** True if a fanout copy of @p link's value is consumed inside
+     * region @p region (walking the surrounding fanout tree both up to
+     * its root and down every branch). */
+    static bool
+    valueEntersRegion(const Dfg &g, int link, int region)
+    {
+        int root = g.links[link].src;
+        while (g.nodes[root].kind == NodeKind::fanout) {
+            int up = g.links[g.nodes[root].ins[0]].src;
+            if (up < 0 || g.nodes[up].kind != NodeKind::fanout)
+                break;
+            root = up;
+        }
+        if (g.nodes[root].kind != NodeKind::fanout)
+            return false;
+        std::vector<int> stack{root};
+        while (!stack.empty()) {
+            int id = stack.back();
+            stack.pop_back();
+            for (int out : g.nodes[id].outs) {
+                int c = g.links[out].dst;
+                if (c < 0)
+                    continue;
+                if (g.nodes[c].replicateRegion == region)
+                    return true;
+                if (g.nodes[c].kind == NodeKind::fanout)
+                    stack.push_back(c);
+            }
+        }
+        return false;
+    }
+
+    /** Detour @p l through a fresh park/restore pair for @p region:
+     * src -> l -> park -> (sram) -> restore -> (rst) -> consumer. */
+    static void
+    parkLink(Dfg &g, int l, int region)
+    {
+        const std::string base = g.links[l].name;
+        const Scalar elem = g.links[l].elem;
+        const int consumer = g.links[l].dst;
+
+        Node &park = g.newNode(NodeKind::park, "park." + base);
+        park.parkRegion = region;
+        park.loopDepth = g.nodes[consumer].loopDepth;
+        park.foreachDepth = g.nodes[consumer].foreachDepth;
+        park.isBulk = g.nodes[consumer].isBulk;
+        const int pk = park.id;
+        Node &rest = g.newNode(NodeKind::restore, "restore." + base);
+        rest.parkRegion = region;
+        rest.loopDepth = park.loopDepth;
+        rest.foreachDepth = park.foreachDepth;
+        rest.isBulk = park.isBulk;
+        const int rs = rest.id;
+
+        const int idx = indexOf(g.nodes[consumer].ins, l);
+        g.links[l].dst = pk;
+        g.nodes[pk].ins.push_back(l);
+        int sram = g.newLink(base + ".park", elem);
+        g.connectOut(pk, sram);
+        g.connectIn(rs, sram);
+        int rst = g.newLink(base + ".rst", elem);
+        g.connectOut(rs, rst);
+        g.links[rst].dst = consumer;
+        g.nodes[consumer].ins[idx] = rst;
+    }
+};
+
+// ---- sub-word packing across merges (Section V-B(d)) -------------------
+
+class SubwordPack : public GraphPass
+{
+  public:
+    std::string name() const override { return "subword-pack"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &) override
+    {
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            if (g.nodes[i].kind != NodeKind::fwdMerge &&
+                g.nodes[i].kind != NodeKind::fbMerge) {
+                continue;
+            }
+            rewrites += packMerge(g, static_cast<int>(i));
+        }
+        return rewrites;
+    }
+
+  private:
+    struct Group
+    {
+        std::vector<int> lanes;
+        int bits = 0;
+    };
+
+    static int
+    packMerge(Dfg &g, int mi)
+    {
+        const int half = static_cast<int>(g.nodes[mi].outs.size());
+
+        // Narrow lanes whose element type agrees across both input
+        // bundles and the output (packing relies on the link-value
+        // normalization invariant, which is stated per element type).
+        std::vector<int> narrow;
+        for (int j = 0; j < half; ++j) {
+            const Node &m = g.nodes[mi];
+            Scalar e = g.links[m.outs[j]].elem;
+            int w = lang::bitWidth(e);
+            if (w <= 0 || w >= 32)
+                continue;
+            if (g.links[m.ins[j]].elem != e ||
+                g.links[m.ins[j + half]].elem != e) {
+                continue;
+            }
+            narrow.push_back(j);
+        }
+        if (narrow.size() < 2)
+            return 0;
+
+        // First-fit the narrow lanes into shared 32-bit lanes.
+        std::vector<Group> groups;
+        for (int j : narrow) {
+            int w = lang::bitWidth(g.links[g.nodes[mi].outs[j]].elem);
+            bool placed = false;
+            for (auto &grp : groups) {
+                if (grp.bits + w <= 32) {
+                    grp.lanes.push_back(j);
+                    grp.bits += w;
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed)
+                groups.push_back(Group{{j}, w});
+        }
+        groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                    [](const Group &grp) {
+                                        return grp.lanes.size() < 2;
+                                    }),
+                     groups.end());
+        if (groups.empty())
+            return 0;
+
+        std::vector<char> packed(half, 0);
+        std::vector<int> pa, pb, po;
+        for (const auto &grp : groups) {
+            for (int j : grp.lanes)
+                packed[j] = 1;
+            std::vector<int> ins_a, ins_b, outs;
+            for (int j : grp.lanes) {
+                ins_a.push_back(g.nodes[mi].ins[j]);
+                ins_b.push_back(g.nodes[mi].ins[j + half]);
+                outs.push_back(g.nodes[mi].outs[j]);
+            }
+            pa.push_back(makePackBlock(g, mi, ins_a, "pack.a"));
+            pb.push_back(makePackBlock(g, mi, ins_b, "pack.b"));
+            po.push_back(makeUnpackBlock(g, mi, outs));
+        }
+
+        // Rebuild the merge bundles: surviving lanes keep their order,
+        // packed lanes append (A-bundle / B-bundle / outs in step).
+        Node &m = g.nodes[mi];
+        std::vector<int> ins_a, ins_b, outs;
+        for (int j = 0; j < half; ++j) {
+            if (packed[j])
+                continue;
+            ins_a.push_back(m.ins[j]);
+            ins_b.push_back(m.ins[j + half]);
+            outs.push_back(m.outs[j]);
+        }
+        ins_a.insert(ins_a.end(), pa.begin(), pa.end());
+        ins_b.insert(ins_b.end(), pb.begin(), pb.end());
+        outs.insert(outs.end(), po.begin(), po.end());
+        m.ins = std::move(ins_a);
+        m.ins.insert(m.ins.end(), ins_b.begin(), ins_b.end());
+        m.outs = std::move(outs);
+        return static_cast<int>(groups.size());
+    }
+
+    /** Block computing the shared lane: acc |= (v_j & mask) << off. */
+    static int
+    makePackBlock(Dfg &g, int mi, const std::vector<int> &in_links,
+                  const std::string &name)
+    {
+        Node &blk = g.newNode(NodeKind::block, name);
+        annotateLike(g, blk, mi);
+        const int bi = blk.id;
+        int acc = -1, off = 0;
+        for (size_t j = 0; j < in_links.size(); ++j) {
+            int l = in_links[j];
+            int w = lang::bitWidth(g.links[l].elem);
+            int in = static_cast<int>(blk.nRegs++);
+            blk.inputRegs.push_back(in);
+            g.links[l].dst = bi;
+            blk.ins.push_back(l);
+
+            int mask = blk.nRegs++;
+            pushOp(blk, OpKind::cnst, mask, -1, -1,
+                   w >= 32 ? 0xffffffffu : ((1u << w) - 1u));
+            int masked = blk.nRegs++;
+            pushOp(blk, OpKind::andb, masked, in, mask);
+            int shifted = masked;
+            if (off > 0) {
+                int sh = blk.nRegs++;
+                pushOp(blk, OpKind::cnst, sh, -1, -1,
+                       static_cast<Word>(off));
+                shifted = blk.nRegs++;
+                pushOp(blk, OpKind::shl, shifted, masked, sh);
+            }
+            if (acc < 0) {
+                acc = shifted;
+            } else {
+                int next = blk.nRegs++;
+                pushOp(blk, OpKind::orb, next, acc, shifted);
+                acc = next;
+            }
+            off += w;
+        }
+        blk.outputRegs.push_back(acc);
+        int out = g.newLink("pk", Scalar::i32);
+        g.connectOut(bi, out);
+        g.links[out].dst = mi;
+        return out;
+    }
+
+    /** Unpack block: each original output link j reads
+     * norm_elem(acc >> off_j); returns the packed link feeding it. */
+    static int
+    makeUnpackBlock(Dfg &g, int mi, const std::vector<int> &out_links)
+    {
+        Node &blk = g.newNode(NodeKind::block, "unpack");
+        annotateLike(g, blk, mi);
+        const int bi = blk.id;
+        int in = blk.nRegs++;
+        blk.inputRegs.push_back(in);
+        int off = 0;
+        for (int l : out_links) {
+            Scalar elem = g.links[l].elem;
+            int w = lang::bitWidth(elem);
+            int shifted = in;
+            if (off > 0) {
+                int sh = blk.nRegs++;
+                pushOp(blk, OpKind::cnst, sh, -1, -1,
+                       static_cast<Word>(off));
+                shifted = blk.nRegs++;
+                pushOp(blk, OpKind::shru, shifted, in, sh);
+            }
+            int lane = blk.nRegs++;
+            pushOp(blk, OpKind::norm, lane, shifted).elem = elem;
+            blk.outputRegs.push_back(lane);
+            g.links[l].src = bi;
+            blk.outs.push_back(l);
+            off += w;
+        }
+        int packed = g.newLink("pk", Scalar::i32);
+        g.links[packed].src = mi;
+        g.connectIn(bi, packed);
+        return packed;
+    }
+
+    static BlockOp &
+    pushOp(Node &blk, OpKind kind, int dst, int a = -1, int b = -1,
+           Word imm = 0)
+    {
+        BlockOp op;
+        op.kind = kind;
+        op.dst = dst;
+        op.a = a;
+        op.b = b;
+        op.imm = imm;
+        blk.ops.push_back(op);
+        return blk.ops.back();
+    }
+
+    /** Pack/unpack contexts sit right at the merge: inherit its
+     * placement annotations (and region membership). */
+    static void
+    annotateLike(Dfg &g, Node &blk, int mi)
+    {
+        const Node &m = g.nodes[mi];
+        blk.loopDepth = m.loopDepth;
+        blk.foreachDepth = m.foreachDepth;
+        blk.replicateRegion = m.replicateRegion;
+        blk.isBulk = m.isBulk;
+        if (m.replicateRegion >= 0)
+            g.replicates[m.replicateRegion].nodeIds.push_back(blk.id);
+    }
+};
+
 } // namespace
 
 std::unique_ptr<GraphPass>
@@ -914,6 +1304,18 @@ makeDeadNodeElimPass()
     return std::make_unique<DeadNodeElim>();
 }
 
+std::unique_ptr<GraphPass>
+makeReplicateBufferizePass()
+{
+    return std::make_unique<ReplicateBufferize>();
+}
+
+std::unique_ptr<GraphPass>
+makeSubwordPackPass()
+{
+    return std::make_unique<SubwordPack>();
+}
+
 std::vector<std::unique_ptr<GraphPass>>
 makeDefaultPasses(const GraphPassOptions &opts)
 {
@@ -928,6 +1330,13 @@ makeDefaultPasses(const GraphPassOptions &opts)
         out.push_back(makeBlockFusionPass());
     if (opts.deadNodeElim)
         out.push_back(makeDeadNodeElimPass());
+    // The structural rewrites run after cleanup so parks and packed
+    // lanes are decided on the settled graph, not on wiring blocks and
+    // dead cones the earlier passes are about to erase.
+    if (opts.replicateBufferize)
+        out.push_back(makeReplicateBufferizePass());
+    if (opts.subwordPack)
+        out.push_back(makeSubwordPackPass());
     return out;
 }
 

@@ -23,11 +23,22 @@
  *    resource model's cost hooks (graph/resources.hh);
  *  - deadNodeElim: prune nodes whose outputs all dangle into sinks
  *    (transitively) and have no memory effects, shrinking fanouts and
- *    filter/merge bundles along the way.
+ *    filter/merge bundles along the way;
+ *  - replicateBufferize (Section V-C(d)): detour values that pass over
+ *    a replicate region — produced before it, consumed after it, never
+ *    entering it — through an SRAM park/restore pair so the region's
+ *    distribution and collection trees do not have to carry them. The
+ *    pass refuses values entangled with another region (nesting) and
+ *    bails on regions whose pass-over count exceeds the Table II MU
+ *    bank budget, then re-derives ReplicateInfo::bufferized from the
+ *    rewritten graph;
+ *  - subwordPack (Section V-B(d)): share 32-bit lanes between narrow
+ *    (i8/i16/bool) streams entering the same fwdMerge/fbMerge, with
+ *    mask/shift pack blocks on both input bundles and an unpack block
+ *    on the merged output.
  *
- * Future graph rewrites (replicate bufferization, sub-word packing as
- * real passes) plug in by implementing GraphPass and appending to the
- * pipeline.
+ * Further graph rewrites plug in by implementing GraphPass and
+ * appending to the pipeline.
  */
 
 #ifndef REVET_GRAPH_OPTIMIZE_HH
@@ -55,11 +66,14 @@ struct GraphPassOptions
     bool fanoutCoalesce = true;
     bool blockFusion = true;
     bool deadNodeElim = true;
+    bool replicateBufferize = true;
+    bool subwordPack = true;
     /** Run Dfg::verify() after every pass application. */
     bool verifyBetweenPasses = true;
     /** Fixpoint iteration cap for the whole pipeline. */
     int maxIterations = 8;
-    /** Table II limits consulted by blockFusion's cost hooks. */
+    /** Table II limits consulted by blockFusion's cost hooks and by
+     * replicateBufferize's per-region SRAM park budget (muBanks). */
     sim::MachineConfig machine;
 };
 
@@ -100,6 +114,8 @@ std::unique_ptr<GraphPass> makeCopyPropPass();
 std::unique_ptr<GraphPass> makeFanoutCoalescePass();
 std::unique_ptr<GraphPass> makeBlockFusionPass();
 std::unique_ptr<GraphPass> makeDeadNodeElimPass();
+std::unique_ptr<GraphPass> makeReplicateBufferizePass();
+std::unique_ptr<GraphPass> makeSubwordPackPass();
 
 /** The default pipeline honoring the per-pass toggles in @p opts. */
 std::vector<std::unique_ptr<GraphPass>>

@@ -18,12 +18,15 @@ namespace revet
 namespace graph
 {
 
-/** Resource-model toggles, mirroring the Figure 12 ablation. */
+/** Resource-model toggles, mirroring the Figure 12 ablation.
+ *
+ * Sub-word packing and replicate bufferization used to live here as
+ * accounting fictions; they are real graph rewrites now
+ * (graph::GraphPassOptions::subwordPack / replicateBufferize) and the
+ * resource model reads their cost off the rewritten graph. */
 struct GraphToggles
 {
-    bool packSubWords = true;       ///< pack i8/i16 across merges
-    bool bufferizeReplicate = true; ///< SRAM-park values around replicate
-    bool hoistAllocators = true;    ///< one global allocator per region
+    bool hoistAllocators = true; ///< one global allocator per region
 };
 
 } // namespace graph

@@ -147,14 +147,10 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
           case NodeKind::fwdMerge:
           case NodeKind::fbMerge: {
             // Two vector-vector merges per context; four scalar-vector.
+            // The merge width is the graph's bundle width as rewritten
+            // by the sub-word packing pass — narrow lanes it shared
+            // into one 32-bit lane are already gone from outs.
             int width = static_cast<int>(node.outs.size());
-            if (opts.toggles.packSubWords) {
-                // Pack narrow live values into shared 32-bit lanes.
-                int bits = 0;
-                for (int l : node.outs)
-                    bits += lang::bitWidth(dfg.links[l].elem);
-                width = std::max(1, ceilDiv(bits, 32));
-            }
             bool scal_side = !dfg.links[node.ins[0]].vector;
             *cu += ceilDiv(width, scal_side ? 8 : 4);
             if (node.kind == NodeKind::fbMerge) {
@@ -175,6 +171,11 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
             // Pipeline-head/tail logic: folds into adjacent contexts
             // (consumes buffers/outputs, modeled via merges above).
             break;
+          case NodeKind::park:
+          case NodeKind::restore:
+            // Park buffers are charged per replicate region below
+            // (bufferMU), not per node.
+            break;
         }
     }
 
@@ -182,20 +183,28 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
     rep.outerCU += static_cast<int>(std::ceil(outer_stage_slots));
 
     // ---- replicate distribution / collection (V-C(d), V-B(b)) ----------
+    // Both sides of the bufferization trade-off are read off the graph
+    // itself: pass-over links the replicate-bufferize pass detoured
+    // through park/restore pairs cost SRAM (bufferMU); pass-over links
+    // still crossing the region in the wire (pass disabled, budget
+    // bail, or edge-case refusal) must be carried through the region's
+    // distribution and merge trees instead.
     for (const auto &region : dfg.replicates) {
-        int live = region.liveValuesIn;
-        int parked = region.bufferized;
-        if (!opts.toggles.bufferizeReplicate) {
-            // Pass-over values must be carried through the region's
-            // distribution and merge trees instead of parked in SRAM.
-            live += parked;
-            parked = 0;
-        }
+        int parked = dfg.replicateParkedValues(region.id);
+        int carried =
+            static_cast<int>(dfg.replicatePassOverLinks(region.id).size());
+        int live = region.liveValuesIn + carried;
         // Work distribution: one filter tree + retiming per replica;
         // collection: a forward-merge tree.
         rep.replCU += ceilDiv(region.replicas * std::max(live, 1), 4);
         rep.replMU += opts.toggles.hoistAllocators ? 1 : region.replicas;
+        // Pass-over buffering: a parked value occupies one SRAM slot;
+        // a carried value must instead wait in the distribution and
+        // collection trees, costing retiming buffers in every replica
+        // — the waste bufferization exists to avoid (V-C(d)).
         rep.bufferMU += parked > 0 ? ceilDiv(parked, 4) : 0;
+        rep.bufferMU +=
+            carried > 0 ? ceilDiv(carried * region.replicas, 4) : 0;
         rep.retimeMU += region.replicas; // link-retiming buffers
     }
 

@@ -45,7 +45,10 @@ struct ResourceReport
     int outerCU = 0, outerMU = 0, outerAG = 0;
     // Replicate distribution/collection overhead.
     int replCU = 0, replMU = 0;
-    // Buffering MUs.
+    // Buffering MUs. bufferMU is the pass-over value cost: one SRAM
+    // slot per value the replicate-bufferize pass parked, or
+    // per-replica retiming buffers for values still carried through
+    // the region's trees (pass disabled or bailed).
     int deadlockMU = 0, bufferMU = 0, retimeMU = 0;
 
     int replicateFactor = 1;

@@ -210,7 +210,17 @@ class Machine
                 break;
               case StmtKind::replicateStmt:
                 // Spatial throughput knob: semantically the body runs
-                // once in the current thread.
+                // once in the current thread. A fork inside needs the
+                // enclosing statements as its continuation so every
+                // spawned thread runs the rest of the program (same
+                // shape as the block case above).
+                if (containsFork(s)) {
+                    size_t next = i + 1;
+                    execList(s.body, 0, [&, next] {
+                        execList(stmts, next, cont);
+                    });
+                    return;
+                }
                 execList(s.body, 0, nullptr);
                 if (stopped_)
                     return;

@@ -18,9 +18,10 @@
  * Optimization (Section V-B):
  *  - ifToSelect(): loop-free if statements become selects + predicated
  *    memory operations.
- *  - (allocator fusion/hoisting, replicate bufferization, and sub-word
- *    packing act on the dataflow graph: see graph/resources.hh — they
- *    change resource allocation, not program semantics.)
+ *  - (replicate bufferization and sub-word packing are dataflow-graph
+ *    rewrites: see graph/optimize.hh. Allocator hoisting remains a
+ *    resource-model toggle in graph/resources.hh — it changes resource
+ *    allocation, not program semantics.)
  */
 
 #ifndef REVET_PASSES_PASSES_HH
@@ -38,9 +39,9 @@ namespace passes
 {
 
 /** HIR pass toggles, mirroring the ablation study of Figure 12.
- * (Graph-level toggles — sub-word packing, replicate bufferization,
- * allocator hoisting — live in graph::GraphToggles, owned by
- * core::CompileOptions.) */
+ * (The graph-level toggle — allocator hoisting — lives in
+ * graph::GraphToggles, owned by core::CompileOptions; sub-word packing
+ * and replicate bufferization are graph::GraphPassOptions passes.) */
 struct PassOptions
 {
     bool lowerAdapters = true;

@@ -185,6 +185,103 @@ TEST(DfgVerify, RejectsMergeBundleMismatch)
 }
 
 // ---------------------------------------------------------------------
+// Park/restore shapes (replicate bufferization).
+
+namespace
+{
+
+/** tinyGraph with the block's output parked around a fake region:
+ * source -> block -> park -> restore -> sink. */
+Dfg
+parkedGraph()
+{
+    Dfg g = tinyGraph();
+    ReplicateInfo info;
+    info.id = 0;
+    info.replicas = 2;
+    g.replicates.push_back(info);
+    int l = g.nodes[1].outs[0]; // block -> sink
+    int sink = g.links[l].dst;
+    auto &park = g.newNode(NodeKind::park, "park.b");
+    park.parkRegion = 0;
+    int pk = park.id;
+    auto &rest = g.newNode(NodeKind::restore, "restore.b");
+    rest.parkRegion = 0;
+    int rs = rest.id;
+    g.links[l].dst = pk;
+    g.nodes[pk].ins.push_back(l);
+    int sram = g.newLink("b.park");
+    g.connectOut(pk, sram);
+    g.connectIn(rs, sram);
+    int rst = g.newLink("b.rst");
+    g.connectOut(rs, rst);
+    g.links[rst].dst = sink;
+    g.nodes[sink].ins[0] = rst;
+    return g;
+}
+
+} // namespace
+
+TEST(DfgVerify, AcceptsParkRestorePair)
+{
+    EXPECT_NO_THROW(parkedGraph().verify());
+}
+
+TEST(DfgVerify, RejectsParkWithoutMatchingRestore)
+{
+    // Splice the restore out so the park feeds the sink directly.
+    Dfg g = parkedGraph();
+    int park_out = g.nodes[3].outs[0];
+    int rest = g.links[park_out].dst;
+    ASSERT_EQ(g.nodes[rest].kind, NodeKind::restore);
+    g.nodes[rest].kind = NodeKind::flatten;
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgVerify, RejectsParkRegionMismatch)
+{
+    Dfg g = parkedGraph();
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::restore)
+            n.parkRegion = 1; // no such region / mismatched pair
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgVerify, RejectsParkRegionOutOfRange)
+{
+    Dfg g = parkedGraph();
+    g.replicates.clear();
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgVerify, RejectsParkArity)
+{
+    Dfg g = parkedGraph();
+    int extra = g.newLink("extra");
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::park) {
+            g.nodes[0].outs.push_back(extra);
+            g.links[extra].src = 0;
+            n.ins.push_back(extra);
+            g.links[extra].dst = n.id;
+        }
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgDot, ParkRendersAsRegionTaggedCylinder)
+{
+    std::string dot = parkedGraph().toDot();
+    EXPECT_NE(dot.find("park\\npark.b\\nregion 0\" shape=cylinder"),
+              std::string::npos)
+        << dot;
+    EXPECT_NE(dot.find("restore\\nrestore.b\\nregion 0\" shape=cylinder"),
+              std::string::npos)
+        << dot;
+}
+
+// ---------------------------------------------------------------------
 // Golden dot dumps: node labels carry op counts, links carry element
 // type and vector-vs-scalar class. Pinned so dumps cannot silently
 // regress; regenerate by printing toDot() when the format is

@@ -23,7 +23,9 @@
 #include "apps/apps.hh"
 #include "core/revet.hh"
 #include "graph/optimize.hh"
+#include "graph/resources.hh"
 #include "lang/parse.hh"
+#include "lang/type.hh"
 #include "passes/passes.hh"
 
 using namespace revet;
@@ -46,12 +48,15 @@ passConfig(const std::string &which)
     o.fanoutCoalesce = which == "fanout-coalesce";
     o.blockFusion = which == "block-fusion";
     o.deadNodeElim = which == "dead-node-elim";
+    o.replicateBufferize = which == "replicate-bufferize";
+    o.subwordPack = which == "subword-pack";
     return o;
 }
 
 const std::vector<std::string> kPassConfigs = {
     "const-fold",   "copy-prop",      "fanout-coalesce",
-    "block-fusion", "dead-node-elim", "full"};
+    "block-fusion", "dead-node-elim", "replicate-bufferize",
+    "subword-pack", "full"};
 
 using Generate = std::function<std::vector<int32_t>(DramImage &)>;
 
@@ -295,6 +300,79 @@ TEST(GraphOptEquiv, LanguageFixtures)
          [](DramImage &d) {
              d.resize("out", 4);
              return std::vector<int32_t>{0};
+         }},
+        // Narrow loop-carried values: the while header's fbMerge gets
+        // i8/i16 lanes for sub-word packing to share.
+        {"narrow-while",
+         R"(
+         DRAM<int> out;
+         void main(int n) {
+           foreach (n) { int t =>
+             char a = t * 7;
+             short b = t * 129;
+             char c = 0 - t;
+             int i = 0;
+             while (i < t % 5 + 1) {
+               a = a + 3;
+               b = b - a;
+               c = c ^ i;
+               i++;
+             };
+             out[t] = a * 65536 + b * 256 + c;
+           };
+         })",
+         [](DramImage &d) {
+             d.resize("out", 24 * 4);
+             return std::vector<int32_t>{24};
+         }},
+        // A fork inside the replicate body multiplies the thread
+        // count, so pass-over stashing must refuse (regression: the
+        // stashed streams would misalign with the forked output).
+        {"fork-in-replicate",
+         R"(
+         DRAM<int> out;
+         void main(int n) {
+           foreach (n) { int t =>
+             int k1 = t * 7 + 1;
+             int h = t;
+             replicate (2) {
+               int u = fork(2);
+               h = h * 2 + u;
+             };
+             out[h] = h + k1;
+           };
+         })",
+         [](DramImage &d) {
+             d.resize("out", 32 * 4);
+             return std::vector<int32_t>{12};
+         }},
+        // Pass-over values around an order-preserving replicate
+        // region: replicate-bufferize parks them in SRAM.
+        {"replicate-passover",
+         R"(
+         DRAM<int> data; DRAM<int> out;
+         void main(int n) {
+           foreach (n) { int t =>
+             int a = data[t];
+             int k1 = t * 3 + 1;
+             int k2 = t ^ 17;
+             short k3 = t + 40;
+             int h = a;
+             replicate (4) {
+               h = h * 31 + 7;
+               h = h ^ (h / 64);
+               h = h * 13 + 3;
+             };
+             out[t] = h + k1 + k2 - k3;
+           };
+         })",
+         [](DramImage &d) {
+             std::vector<int32_t> data(20);
+             for (int i = 0; i < 20; ++i)
+                 data[i] = i * 91 + 5;
+             d.fill("data", data);
+             d.resize("out", 20 * 4);
+             return std::vector<int32_t>{20};
          }},
     };
     for (const auto &f : fixtures) {
@@ -807,6 +885,323 @@ TEST(GraphOptStructure, FusionRespectsStageBudget)
 }
 
 // ---------------------------------------------------------------------
+// Structural: replicate bufferization.
+
+namespace
+{
+
+/**
+ * source -> pre -> [region blocks / filter] -> post, with @p passover
+ * extra links from pre straight to post (the V-C(d) candidates).
+ * Multiple regions chain in sequence so one link crosses them all.
+ */
+Dfg
+replicateShape(int passover, int regions = 1, bool filter_in_region = false)
+{
+    Dfg g;
+    auto &src = g.newNode(NodeKind::source, "__start");
+    int tok = g.newLink("tok");
+    g.connectOut(src.id, tok);
+
+    auto &pre = g.newNode(NodeKind::block, "pre");
+    g.connectIn(pre.id, tok);
+    pre.inputRegs = {0};
+    pre.nRegs = 1;
+    int carrier = g.newLink("carrier");
+    pre.outputRegs.push_back(0);
+    g.connectOut(pre.id, carrier);
+    std::vector<int> po;
+    for (int i = 0; i < passover; ++i) {
+        int l = g.newLink("po" + std::to_string(i));
+        pre.outputRegs.push_back(0);
+        g.connectOut(pre.id, l);
+        po.push_back(l);
+    }
+
+    int cur = carrier;
+    for (int r = 0; r < regions; ++r) {
+        ReplicateInfo info;
+        info.id = r;
+        info.replicas = 2;
+        info.liveValuesIn = 1;
+        auto &blk = g.newNode(NodeKind::block, "r" + std::to_string(r));
+        blk.replicateRegion = r;
+        info.nodeIds.push_back(blk.id);
+        g.connectIn(blk.id, cur);
+        blk.inputRegs = {0};
+        blk.nRegs = filter_in_region ? 2 : 1;
+        int out = g.newLink("c" + std::to_string(r));
+        blk.outputRegs.push_back(0);
+        g.connectOut(blk.id, out);
+        cur = out;
+        if (filter_in_region) {
+            // Predicate + filter inside the region: reorders threads,
+            // so the region must refuse bufferization.
+            BlockOp op;
+            op.kind = OpKind::eq;
+            op.dst = 1;
+            op.a = 0;
+            op.b = 0;
+            blk.ops.push_back(op);
+            int pl = g.newLink("p" + std::to_string(r));
+            blk.outputRegs.push_back(1);
+            g.connectOut(blk.id, pl);
+            auto &flt = g.newNode(NodeKind::filter,
+                                  "f" + std::to_string(r));
+            flt.replicateRegion = r;
+            info.nodeIds.push_back(flt.id);
+            g.connectIn(flt.id, pl);
+            g.connectIn(flt.id, cur);
+            int fo = g.newLink("fo" + std::to_string(r));
+            g.connectOut(flt.id, fo);
+            cur = fo;
+        }
+        g.replicates.push_back(info);
+    }
+
+    auto &post = g.newNode(NodeKind::block, "post");
+    g.connectIn(post.id, cur);
+    post.inputRegs = {0};
+    post.nRegs = 1 + passover;
+    for (int i = 0; i < passover; ++i) {
+        g.connectIn(post.id, po[i]);
+        post.inputRegs.push_back(1 + i);
+    }
+    BlockOp wr;
+    wr.kind = OpKind::dramWrite;
+    wr.a = 0;
+    wr.b = passover > 0 ? 1 : 0;
+    wr.dram = 0;
+    post.ops.push_back(wr);
+    g.verify();
+    return g;
+}
+
+int
+countParks(const Dfg &g)
+{
+    int n = 0;
+    for (const auto &node : g.nodes)
+        n += node.kind == NodeKind::park;
+    return n;
+}
+
+} // namespace
+
+TEST(GraphOptStructure, PassOverLinksGetParked)
+{
+    Dfg g = replicateShape(3);
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 3);
+    g.verify();
+    EXPECT_EQ(countParks(g), 3);
+    EXPECT_EQ(g.replicates[0].bufferized, 3);
+    EXPECT_EQ(g.replicateParkedValues(0), 3);
+    // Parked detours are off the crossing set now.
+    EXPECT_TRUE(g.replicatePassOverLinks(0).empty());
+    // Idempotent: a second run finds nothing left to park.
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    EXPECT_EQ(countParks(g), 3);
+}
+
+TEST(GraphOptStructure, ZeroPassOverValuesIsANoOp)
+{
+    Dfg g = replicateShape(0);
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    g.verify();
+    EXPECT_EQ(countParks(g), 0);
+    EXPECT_EQ(g.replicates[0].bufferized, 0);
+}
+
+TEST(GraphOptStructure, ValueBothConsumedInsideAndPassedOverIsSkipped)
+{
+    // pre -> fanout -> {region block, post}: the post-bound copy of a
+    // value whose sibling enters the region keeps riding the region's
+    // distribution tree (V-C(d) applies to pure pass-overs only).
+    Dfg g = replicateShape(0);
+    int region_block = -1, post = -1;
+    for (const auto &n : g.nodes) {
+        if (n.name == "r0")
+            region_block = n.id;
+        if (n.name == "post")
+            post = n.id;
+    }
+    ASSERT_GE(region_block, 0);
+    // Rewire: pre's carrier feeds a fanout with one arm into the
+    // region and one arm straight to post.
+    int carrier = g.nodes[region_block].ins[0];
+    auto &fan = g.newNode(NodeKind::fanout, "split");
+    int fan_id = fan.id;
+    g.links[carrier].dst = fan_id;
+    g.nodes[fan_id].ins.push_back(carrier);
+    int arm_in = g.newLink("arm.in");
+    int arm_over = g.newLink("arm.over");
+    g.connectOut(fan_id, arm_in);
+    g.connectOut(fan_id, arm_over);
+    g.nodes[region_block].ins[0] = arm_in;
+    g.links[arm_in].dst = region_block;
+    g.connectIn(post, arm_over);
+    g.nodes[post].inputRegs.push_back(0);
+    g.verify();
+
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    g.verify();
+    EXPECT_EQ(countParks(g), 0);
+}
+
+TEST(GraphOptStructure, LinkCrossingNestedRegionsIsRefused)
+{
+    // One pass-over link spanning two chained regions: a single
+    // park/restore pair cannot sit on the right side of both
+    // boundaries, so the pass must leave it carried.
+    Dfg g = replicateShape(2, /*regions=*/2);
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    g.verify();
+    EXPECT_EQ(countParks(g), 0);
+    EXPECT_EQ(g.replicates[0].bufferized, 0);
+    EXPECT_EQ(g.replicates[1].bufferized, 0);
+}
+
+TEST(GraphOptStructure, ParkBudgetOverflowBailsWholeRegion)
+{
+    GraphPassOptions opts;
+    const int budget = opts.machine.muBanks;
+    Dfg g = replicateShape(budget + 1);
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    g.verify();
+    EXPECT_EQ(countParks(g), 0);
+    EXPECT_EQ(g.replicates[0].bufferized, 0);
+    // At the budget the region parks in full.
+    Dfg h = replicateShape(budget);
+    EXPECT_EQ(makeReplicateBufferizePass()->run(h, opts), budget);
+    h.verify();
+    EXPECT_EQ(h.replicates[0].bufferized, budget);
+}
+
+TEST(GraphOptStructure, ReorderingRegionRefusesBufferization)
+{
+    // A filter inside the region emits threads in arrival order; a
+    // positional park/restore re-pairing would scramble values.
+    Dfg g = replicateShape(2, 1, /*filter_in_region=*/true);
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    g.verify();
+    EXPECT_EQ(countParks(g), 0);
+}
+
+// ---------------------------------------------------------------------
+// Structural: sub-word packing.
+
+TEST(GraphOptStructure, NarrowMergeLanesPackIntoSharedLane)
+{
+    // Two i8 lanes and one i16 lane (32 bits total) pack into one
+    // shared lane; the i32 lane is left alone.
+    Dfg g;
+    const Scalar elems[] = {Scalar::i8, Scalar::i8, Scalar::i16,
+                            Scalar::i32};
+    std::vector<int> ins_a, ins_b;
+    for (int side = 0; side < 2; ++side) {
+        auto &src = g.newNode(NodeKind::source, "__src");
+        int tok = g.newLink("tok");
+        g.connectOut(src.id, tok);
+        auto &blk = g.newNode(NodeKind::block, side ? "b" : "a");
+        g.connectIn(blk.id, tok);
+        blk.inputRegs = {0};
+        blk.nRegs = 1;
+        for (Scalar e : elems) {
+            int l = g.newLink("v", e);
+            blk.outputRegs.push_back(0);
+            g.connectOut(blk.id, l);
+            (side ? ins_b : ins_a).push_back(l);
+        }
+    }
+    auto &merge = g.newNode(NodeKind::fwdMerge, "join");
+    for (int l : ins_a)
+        g.connectIn(merge.id, l);
+    for (int l : ins_b)
+        g.connectIn(merge.id, l);
+    for (Scalar e : elems) {
+        int l = g.newLink("m", e);
+        g.connectOut(merge.id, l);
+        auto &sk = g.newNode(NodeKind::sink, "sink");
+        g.connectIn(sk.id, l);
+    }
+    g.verify();
+
+    GraphPassOptions opts;
+    EXPECT_EQ(makeSubwordPackPass()->run(g, opts), 1);
+    g.verify();
+    const Node *m = nullptr;
+    int packs = 0, unpacks = 0;
+    for (const auto &n : g.nodes) {
+        if (n.kind == NodeKind::fwdMerge)
+            m = &n;
+        packs += n.kind == NodeKind::block &&
+            n.name.rfind("pack.", 0) == 0;
+        unpacks += n.kind == NodeKind::block && n.name == "unpack";
+    }
+    ASSERT_NE(m, nullptr);
+    // 4 lanes -> i32 survivor + 1 packed lane, on both bundles.
+    EXPECT_EQ(m->outs.size(), 2u);
+    EXPECT_EQ(m->ins.size(), 4u);
+    EXPECT_EQ(packs, 2);
+    EXPECT_EQ(unpacks, 1);
+    for (int l : m->outs) {
+        EXPECT_EQ(lang::bitWidth(g.links[l].elem), 32);
+    }
+    // Idempotent: everything narrow is already shared.
+    EXPECT_EQ(makeSubwordPackPass()->run(g, opts), 0);
+}
+
+TEST(GraphOptStructure, LoneNarrowLaneIsNotPacked)
+{
+    Dfg g;
+    auto &src = g.newNode(NodeKind::source, "__src");
+    int tok = g.newLink("tok");
+    g.connectOut(src.id, tok);
+    auto &blk = g.newNode(NodeKind::block, "a");
+    g.connectIn(blk.id, tok);
+    blk.inputRegs = {0};
+    blk.nRegs = 1;
+    std::vector<int> lanes;
+    for (int i = 0; i < 2; ++i) {
+        int l = g.newLink("v", i == 0 ? Scalar::i8 : Scalar::i32);
+        blk.outputRegs.push_back(0);
+        g.connectOut(blk.id, l);
+        lanes.push_back(l);
+    }
+    auto &merge = g.newNode(NodeKind::fwdMerge, "join");
+    for (int l : lanes)
+        g.connectIn(merge.id, l);
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        // B side: a second producer block.
+        auto &bsrc = g.newNode(NodeKind::source, "__srcb");
+        int bt = g.newLink("tokb");
+        g.connectOut(bsrc.id, bt);
+        auto &bb = g.newNode(NodeKind::block, "b");
+        g.connectIn(bb.id, bt);
+        bb.inputRegs = {0};
+        bb.nRegs = 1;
+        int l = g.newLink("w", g.links[lanes[i]].elem);
+        bb.outputRegs.push_back(0);
+        g.connectOut(bb.id, l);
+        g.connectIn(merge.id, l);
+    }
+    for (int l : lanes) {
+        int o = g.newLink("m", g.links[l].elem);
+        g.connectOut(merge.id, o);
+        auto &sk = g.newNode(NodeKind::sink, "sink");
+        g.connectIn(sk.id, o);
+    }
+    g.verify();
+    GraphPassOptions opts;
+    EXPECT_EQ(makeSubwordPackPass()->run(g, opts), 0);
+}
+
+// ---------------------------------------------------------------------
 // Full-pipeline behavior on lowered programs.
 
 TEST(GraphOptPipeline, ReportShowsShrinkageAndConverges)
@@ -843,6 +1238,63 @@ TEST(GraphOptPipeline, DisabledOptimizerLeavesGraphUntouched)
         "DRAM<int> out; void main(int n) { out[0] = n; }", off);
     EXPECT_EQ(prog.optReport().nodesBefore, prog.optReport().nodesAfter);
     EXPECT_EQ(prog.optReport().iterations, 0);
+}
+
+TEST(GraphOptPipeline, ReplicateParkRoundTripExecutes)
+{
+    // End to end: pass-over values get parked, the executor routes
+    // them through the SRAM detour (visible in the stats), and the
+    // resource model reads the parked/carried split off the graph.
+    const char *src = R"(
+        DRAM<int> data; DRAM<int> out;
+        void main(int n) {
+          foreach (n) { int t =>
+            int a = data[t];
+            int k1 = t * 3 + 1;
+            int k2 = t ^ 17;
+            int h = a;
+            replicate (4) {
+              h = h * 31 + 7;
+              h = h ^ (h / 64);
+            };
+            out[t] = h + k1 - k2;
+          };
+        })";
+    auto prog = CompiledProgram::compile(src);
+    int parks = 0;
+    for (const auto &n : prog.dfg().nodes)
+        parks += n.kind == NodeKind::park;
+    ASSERT_GT(parks, 0);
+    ASSERT_EQ(prog.dfg().replicates.size(), 1u);
+    EXPECT_EQ(prog.dfg().replicates[0].bufferized, parks);
+    EXPECT_EQ(prog.dfg().replicateParkedValues(0), parks);
+
+    lang::DramImage ref(prog.hir());
+    std::vector<int32_t> data(16);
+    for (int i = 0; i < 16; ++i)
+        data[i] = i * 37 + 11;
+    ref.fill("data", data);
+    ref.resize("out", 64);
+    prog.interpret(ref, {16});
+    lang::DramImage dram(prog.hir());
+    dram.fill("data", data);
+    dram.resize("out", 64);
+    auto stats = prog.execute(dram, {16});
+    EXPECT_EQ(ref.bytes(1), dram.bytes(1));
+    EXPECT_GT(stats.sramParkedElems, 0u);
+
+    // The unoptimized graph carries the same values through the
+    // region's trees instead: more bufferMU, wider replicate trees.
+    CompileOptions off;
+    off.graphOpt.enable = false;
+    auto raw = CompiledProgram::compile(src, off);
+    graph::Dfg don = prog.dfg(), doff = raw.dfg();
+    sim::MachineConfig machine;
+    auto ron = analyzeResources(don, machine, {});
+    auto roff = analyzeResources(doff, machine, {});
+    EXPECT_GT(ron.bufferMU, 0);
+    EXPECT_LT(ron.bufferMU, roff.bufferMU);
+    EXPECT_LT(ron.replCU, roff.replCU);
 }
 
 TEST(GraphOptPipeline, SourceOrderSurvivesOptimization)
