@@ -75,7 +75,10 @@ runOnce(const std::string &source, const Generate &generate,
 }
 
 /** Replicate-heavy sources: order-preserving compute regions with
- * several live values passing over them, the V-C(d) shape the
+ * several live values passing over them, plus a thread-reordering
+ * region (a data-dependent while — the paper's load-imbalanced
+ * replicate use case) whose pass-over values ride the bundles until
+ * ordinal-keyed parking converts them — the V-C(d) shapes the
  * replicate-bufferize pass exists for. */
 struct Fixture
 {
@@ -128,6 +131,28 @@ void main(int n) {
 }
 )";
 
+const char *replProbeSrc = R"(
+DRAM<int> data; DRAM<int> out;
+void main(int n) {
+  foreach (n) { int t =>
+    int a = data[t];
+    int k1 = t * 3 + 1;
+    int k2 = t ^ 929;
+    int k3 = a * 7;
+    int k4 = t + 100;
+    int w = a & 15;
+    int h = a;
+    replicate (4) {
+      while (w != 0) {
+        h = h * 31 + w;
+        w = w - 1;
+      };
+    };
+    out[t] = h + k1 + k2 - k3 + k4;
+  };
+}
+)";
+
 std::vector<Fixture>
 fixtures(int scale)
 {
@@ -160,6 +185,18 @@ fixtures(int scale)
                        for (int i = 0; i < n; ++i)
                            words[i] = i * 2654435761u;
                        dram.fill("words", words);
+                       dram.resize("out", n * 4);
+                       return std::vector<int32_t>{n};
+                   },
+                   Verify{}, true});
+    // While-loop load imbalance: trip counts are data-dependent, the
+    // region reorders threads, and five values pass over it.
+    out.push_back({"repl-probe", replProbeSrc,
+                   [n](lang::DramImage &dram) {
+                       std::vector<int32_t> data(n);
+                       for (int i = 0; i < n; ++i)
+                           data[i] = i * 91 + 5;
+                       dram.fill("data", data);
                        dram.resize("out", n * 4);
                        return std::vector<int32_t>{n};
                    },

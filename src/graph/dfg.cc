@@ -111,6 +111,7 @@ toString(NodeKind kind)
       case NodeKind::sink: return "sink";
       case NodeKind::park: return "park";
       case NodeKind::restore: return "restore";
+      case NodeKind::ordinal: return "ordinal";
     }
     return "?";
 }
@@ -185,6 +186,197 @@ Dfg::replicateParkedValues(int region) const
     return parked;
 }
 
+namespace
+{
+
+/**
+ * Trace a ride's value through one block it enters on @p in_reg: movs
+ * extend the set of registers carrying the value, any other read
+ * taints the ride (the region consumes it), a non-mov write retires
+ * the register. Appends the out-link of every output register still
+ * carrying the value to @p next; returns false on taint or if the
+ * value does not leave the block at all.
+ */
+bool
+traceRideThroughBlock(const Node &node, int in_reg, std::vector<int> &next)
+{
+    std::vector<char> carries(node.nRegs, 0);
+    carries[in_reg] = 1;
+    for (const auto &op : node.ops) {
+        if (op.kind == OpKind::mov && op.guard < 0 && op.a >= 0 &&
+            carries[op.a]) {
+            if (op.dst >= 0)
+                carries[op.dst] = 1;
+            continue;
+        }
+        for (int r : {op.a, op.b, op.c, op.guard}) {
+            if (r >= 0 && r < node.nRegs && carries[r])
+                return false; // the region reads the value
+        }
+        if (op.dst >= 0 && carries[op.dst]) {
+            // A guarded write only overwrites on guard-true threads;
+            // guard-false ones still export the original value, so the
+            // register neither cleanly carries nor cleanly retires.
+            if (op.guard >= 0)
+                return false;
+            carries[op.dst] = 0; // overwritten
+        }
+    }
+    bool exported = false;
+    for (size_t k = 0; k < node.outs.size(); ++k) {
+        if (carries[node.outputRegs[k]]) {
+            next.push_back(node.outs[k]);
+            exported = true;
+        }
+    }
+    return exported;
+}
+
+} // namespace
+
+std::vector<ReplicateRide>
+Dfg::replicateRideLanes(int region) const
+{
+    std::vector<ReplicateRide> out;
+    std::vector<char> claimed(links.size(), 0);
+    auto inRegion = [&](int node) {
+        return node >= 0 && nodes[node].replicateRegion == region;
+    };
+    auto laneOf = [](const std::vector<int> &v, int x) {
+        auto it = std::find(v.begin(), v.end(), x);
+        return it == v.end() ? -1 : static_cast<int>(it - v.begin());
+    };
+
+    for (const auto &entry : links) {
+        if (entry.src < 0 || entry.dst < 0)
+            continue;
+        if (inRegion(entry.src) || !inRegion(entry.dst))
+            continue; // region-entry links only
+        const Node &producer = nodes[entry.src];
+        // Skip lanes already serving the keyed machinery (idempotence)
+        // and values entangled with another region's boundary.
+        if (producer.kind == NodeKind::ordinal ||
+            producer.kind == NodeKind::park ||
+            producer.kind == NodeKind::restore ||
+            producer.replicateRegion >= 0) {
+            continue;
+        }
+
+        // Forward flood from the entry: every link the value occupies
+        // inside the region, failing on any non-identity use.
+        std::vector<char> in_set(links.size(), 0);
+        std::vector<int> ride, work{entry.id}, exits;
+        in_set[entry.id] = 1;
+        bool ok = true;
+        while (ok && !work.empty()) {
+            int cur = work.back();
+            work.pop_back();
+            ride.push_back(cur);
+            const int dst = links[cur].dst;
+            const Node &d = nodes[dst];
+            if (!inRegion(dst)) {
+                // Leaving the region — but only into region-free
+                // territory; a node of another region means the ride
+                // spans two boundaries and one pair cannot serve both.
+                if (d.replicateRegion >= 0) {
+                    ok = false;
+                    break;
+                }
+                exits.push_back(cur);
+                continue;
+            }
+            auto follow = [&](int l) {
+                if (!in_set[l]) {
+                    in_set[l] = 1;
+                    work.push_back(l);
+                }
+            };
+            switch (d.kind) {
+              case NodeKind::block: {
+                int idx = laneOf(d.ins, cur);
+                std::vector<int> next;
+                ok = idx >= 0 &&
+                    traceRideThroughBlock(d, d.inputRegs[idx], next);
+                for (int l : next)
+                    follow(l);
+                break;
+              }
+              case NodeKind::fanout:
+                for (int l : d.outs)
+                    follow(l);
+                break;
+              case NodeKind::filter: {
+                int idx = laneOf(d.ins, cur);
+                ok = idx > 0; // ins[0] is the predicate: a real use
+                if (ok)
+                    follow(d.outs[idx - 1]);
+                break;
+              }
+              case NodeKind::fwdMerge:
+              case NodeKind::fbMerge: {
+                int half = static_cast<int>(d.outs.size());
+                int idx = laneOf(d.ins, cur);
+                ok = idx >= 0;
+                if (ok)
+                    follow(d.outs[idx < half ? idx : idx - half]);
+                break;
+              }
+              case NodeKind::flatten:
+                follow(d.outs[0]);
+                break;
+              case NodeKind::sink:
+                break; // discarded copy (scrubbed scope temp)
+              default:
+                // counter/broadcast/reduce change the element count
+                // per thread (a fork's distribution machinery);
+                // park/restore/ordinal/source cannot sit inside.
+                ok = false;
+                break;
+            }
+        }
+        if (!ok || exits.size() != 1)
+            continue;
+
+        // Merge closure: a merge lane only carries the ride if BOTH
+        // bundle sides do — otherwise the output interleaves the value
+        // with something else (e.g. a loop body that redefines the
+        // slot on the backedge) and is not a pure ride.
+        for (const auto &m : nodes) {
+            if (!ok)
+                break;
+            if (m.replicateRegion != region ||
+                (m.kind != NodeKind::fwdMerge &&
+                 m.kind != NodeKind::fbMerge)) {
+                continue;
+            }
+            int half = static_cast<int>(m.outs.size());
+            for (int j = 0; j < half; ++j) {
+                if (in_set[m.outs[j]] &&
+                    (!in_set[m.ins[j]] || !in_set[m.ins[j + half]])) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (!ok)
+            continue;
+        // Disjointness: overlapping rides (two entries converging on
+        // one lane) cannot both be parked; first wins, rest refuse.
+        for (int l : ride)
+            ok = ok && !claimed[l];
+        if (!ok)
+            continue;
+        for (int l : ride)
+            claimed[l] = 1;
+        ReplicateRide r;
+        r.entry = entry.id;
+        r.exit = exits[0];
+        r.links = std::move(ride);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
 std::string
 Dfg::toDot() const
 {
@@ -196,13 +388,18 @@ Dfg::toDot() const
         if (n.kind == NodeKind::block)
             os << "\\n" << n.ops.size() << " ops";
         // SRAM park/restore pairs render as cylinders tagged with the
-        // replicate region they buffer around.
+        // replicate region they buffer around; ordinal-keyed pairs and
+        // the thread-enumerating ordinal node carry a "keyed" tag.
         if (n.kind == NodeKind::park || n.kind == NodeKind::restore)
+            os << (n.keyed ? "\\nkeyed region " : "\\nregion ")
+               << n.parkRegion;
+        if (n.kind == NodeKind::ordinal)
             os << "\\nregion " << n.parkRegion;
         const char *shape = n.kind == NodeKind::block ? "box"
             : (n.kind == NodeKind::park || n.kind == NodeKind::restore)
             ? "cylinder"
-            : "ellipse";
+            : n.kind == NodeKind::ordinal ? "diamond"
+                                          : "ellipse";
         os << "\" shape=" << shape << "];\n";
     }
     // Links carry their element type and vector-vs-scalar network
@@ -328,11 +525,18 @@ Dfg::verify() const
                      nodes[out.dst].kind == NodeKind::restore &&
                      nodes[out.dst].parkRegion == n.parkRegion,
                  "park must feed the matching restore");
+            need(nodes[out.dst].keyed == n.keyed,
+                 "park/restore ordinal-key mismatch");
             break;
           }
           case NodeKind::restore: {
-            need(n.ins.size() == 1 && n.outs.size() == 1,
-                 "restore needs 1 in / 1 out");
+            // A keyed restore takes a second input: the ordinal key
+            // stream from the region exit that drives its associative
+            // lookup. A FIFO restore pops positionally and has one.
+            need(n.ins.size() == (n.keyed ? 2u : 1u) &&
+                     n.outs.size() == 1,
+                 n.keyed ? "keyed restore needs park + key ins / 1 out"
+                         : "restore needs 1 in / 1 out");
             need(n.parkRegion >= 0 &&
                      n.parkRegion < static_cast<int>(replicates.size()),
                  "restore region id out of range");
@@ -340,8 +544,17 @@ Dfg::verify() const
             need(in.src >= 0 && nodes[in.src].kind == NodeKind::park &&
                      nodes[in.src].parkRegion == n.parkRegion,
                  "restore must be fed by the matching park");
+            need(nodes[in.src].keyed == n.keyed,
+                 "park/restore ordinal-key mismatch");
             break;
           }
+          case NodeKind::ordinal:
+            need(n.ins.size() == 1 && n.outs.size() == 1,
+                 "ordinal needs 1 in / 1 out");
+            need(n.parkRegion >= 0 &&
+                     n.parkRegion < static_cast<int>(replicates.size()),
+                 "ordinal region id out of range");
+            break;
           case NodeKind::block:
             need(n.ins.size() == n.inputRegs.size(),
                  "block input register mismatch");

@@ -91,6 +91,8 @@ enum class NodeKind
     sink,      ///< consumes a dangling stream
     park,      ///< SRAM-park a stream passing over a replicate region
     restore,   ///< matching read-back on the far side of the region
+    ordinal,   ///< tag each thread entering a replicate region with its
+               ///< arrival index (the key for ordinal-keyed parking)
 };
 
 std::string toString(NodeKind kind);
@@ -119,8 +121,14 @@ struct Node
     // source payload: initial token stream
     sltf::TokenStream seed;
 
-    // park/restore: the replicate region this pair buffers around.
+    // park/restore/ordinal: the replicate region this node serves.
     int parkRegion = -1;
+    /** Ordinal-keyed park/restore pair (thread-reordering regions):
+     * the park stores each value under its arrival index and the
+     * restore is an associative lookup — ins = {park link, ordinal key
+     * stream from the region exit} — instead of a FIFO pop. Both sides
+     * of a pair must agree (verify() enforces it). */
+    bool keyed = false;
 
     // annotations for resource/timing models
     int loopDepth = 0;    ///< enclosing while-loop nesting
@@ -154,6 +162,24 @@ struct ReplicateInfo
      * the rewritten graph (count of park/restore pairs). */
     int bufferized = 0;
     std::vector<int> nodeIds; ///< nodes inside the region
+};
+
+/**
+ * A pure ride lane over a replicate region: a value produced outside
+ * the region that enters it and traverses the interior untouched — as
+ * an identity lane of every filter/merge/block on its way — before
+ * leaving through exactly one link. Lowering emits this shape for
+ * pass-over values of thread-reordering (while/if) replicate bodies,
+ * where a crossing link would re-pair streams positionally and
+ * scramble values. The replicate-bufferize pass converts rides into
+ * ordinal-keyed park/restore pairs, repurposing one ride's in-region
+ * path per exit point as the ordinal lane.
+ */
+struct ReplicateRide
+{
+    int entry = -1;         ///< the link from outside into the region
+    int exit = -1;          ///< the unique link leaving the region
+    std::vector<int> links; ///< every link the value rides (incl. both)
 };
 
 struct Dfg
@@ -217,6 +243,12 @@ struct Dfg
     /** Park/restore pairs serving region @p region (graph-derived
      * counterpart of ReplicateInfo::bufferized). */
     int replicateParkedValues(int region) const;
+
+    /** Pure ride lanes over region @p region: see ReplicateRide. These
+     * are the ordinal-keyed bufferization candidates (thread-reordering
+     * regions carry their pass-over values through the bundles, so the
+     * candidates are lanes, not crossing links). */
+    std::vector<ReplicateRide> replicateRideLanes(int region) const;
 
     /** Consistency check: ids equal container indices, every link has
      * exactly one producer and one consumer that list it back, node

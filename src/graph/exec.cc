@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "dataflow/engine.hh"
 
@@ -14,6 +15,7 @@ using dataflow::Bundle;
 using dataflow::Channel;
 using lang::normalize;
 using lang::Scalar;
+using sltf::Token;
 
 namespace
 {
@@ -25,6 +27,9 @@ struct MachineMemory
     lang::DramImage &dram;
     std::vector<std::vector<uint32_t>> heap;
     ExecStats &stats;
+    /** Park slots currently occupied across all park/restore pairs;
+     * the high-water mark lands in ExecStats::sramParkedPeak. */
+    uint64_t parkedNow = 0;
 
     uint32_t
     alloc(int64_t size)
@@ -32,6 +37,20 @@ struct MachineMemory
         heap.emplace_back(static_cast<size_t>(size), 0u);
         ++stats.sramAllocs;
         return static_cast<uint32_t>(heap.size() - 1);
+    }
+
+    void
+    parkSlot()
+    {
+        ++parkedNow;
+        if (parkedNow > stats.sramParkedPeak)
+            stats.sramParkedPeak = parkedNow;
+    }
+
+    void
+    releaseSlot()
+    {
+        --parkedNow;
     }
 
     std::vector<uint32_t> *
@@ -112,6 +131,82 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
     }
     return 0;
 }
+
+/**
+ * Associative read-back side of an ordinal-keyed park/restore pair.
+ *
+ * The park forwards the value stream in region-entry order; this
+ * process buffers each arriving value under its arrival index (the
+ * same numbering the region-entry ordinal node hands out) and emits
+ * values in the order their keys appear on the key stream — the
+ * ordinal lane that rode the region's bundles, i.e. region-exit
+ * order. The output's barrier structure mirrors the key stream (the
+ * value stream's barriers carry entry-order structure and are
+ * dropped); a key whose value has not arrived yet simply waits.
+ * Values whose threads died inside the region (exit/return) are never
+ * looked up and hold their slot until the end of the run.
+ */
+class KeyedRestore : public dataflow::Process
+{
+  public:
+    KeyedRestore(std::string name, Channel *value, Channel *key,
+                 Channel *out, std::shared_ptr<MachineMemory> mem)
+        : Process(std::move(name)), value_(value), key_(key), out_(out),
+          mem_(std::move(mem))
+    {
+        declareIo({value_, key_}, {out_});
+    }
+
+    bool
+    stepOnce() override
+    {
+        // Absorb the park stream first: values land in the keyed SRAM.
+        if (!value_->empty()) {
+            Token tok = value_->pop();
+            if (tok.isData())
+                buffered_[next_ordinal_++] = tok.word();
+            return true;
+        }
+        if (key_->empty() || !out_->canPush())
+            return false;
+        const Token &head = key_->front();
+        if (head.isBarrier()) {
+            out_->push(key_->pop());
+            return true;
+        }
+        auto it = buffered_.find(head.word());
+        if (it == buffered_.end())
+            return false; // the key ran ahead of its parked value
+        key_->pop();
+        ++mem_->stats.sramAccesses;
+        mem_->releaseSlot();
+        out_->push(Token::data(it->second));
+        buffered_.erase(it);
+        return true;
+    }
+
+    // Leftover buffered values are parks of threads that terminated
+    // inside the region: quiescent state, not a stall.
+    std::string
+    stallReason() const override
+    {
+        std::string detail = ioStallDetail();
+        if (!key_->empty() && key_->front().isData()) {
+            detail = "awaiting parked value for ordinal " +
+                std::to_string(key_->front().word()) + "; " + detail;
+        }
+        return name() + ": " + std::to_string(buffered_.size()) +
+            " value(s) parked; " + detail;
+    }
+
+  private:
+    Channel *value_;
+    Channel *key_;
+    Channel *out_;
+    std::shared_ptr<MachineMemory> mem_;
+    std::unordered_map<Word, Word> buffered_;
+    Word next_ordinal_ = 0;
+};
 
 } // namespace
 
@@ -238,19 +333,50 @@ execute(const Dfg &dfg, lang::DramImage &dram,
                 bundleOut());
             break;
           }
-          case NodeKind::park:
-          case NodeKind::restore: {
-            // SRAM park/restore detour around a replicate region: an
-            // in-order FIFO through an MU buffer, so functionally an
-            // identity on the stream. The park side accounts the
-            // write, the restore side the read.
-            const bool is_park = node.kind == NodeKind::park;
-            auto fn = [mem, is_park](const std::vector<Word> &in,
-                                     std::vector<Word> &out) {
+          case NodeKind::park: {
+            // SRAM park around a replicate region. The FIFO and keyed
+            // variants are both an identity on the value stream here —
+            // a keyed park's arrival index IS the slot key, so the
+            // associative semantics live entirely in KeyedRestore.
+            auto fn = [mem](const std::vector<Word> &in,
+                            std::vector<Word> &out) {
                 ++mem->stats.sramAccesses;
-                if (is_park)
-                    ++mem->stats.sramParkedElems;
+                ++mem->stats.sramParkedElems;
+                mem->parkSlot();
                 out.push_back(in[0]);
+            };
+            engine.make<dataflow::ElementWise>(uname, bundleIn(0, 1),
+                                               bundleOut(),
+                                               std::move(fn));
+            break;
+          }
+          case NodeKind::restore: {
+            if (node.keyed) {
+                engine.make<KeyedRestore>(uname, chans[node.ins[0]],
+                                          chans[node.ins[1]],
+                                          chans[node.outs[0]], mem);
+                break;
+            }
+            // FIFO restore: an in-order pop, identity on the stream.
+            auto fn = [mem](const std::vector<Word> &in,
+                            std::vector<Word> &out) {
+                ++mem->stats.sramAccesses;
+                mem->releaseSlot();
+                out.push_back(in[0]);
+            };
+            engine.make<dataflow::ElementWise>(uname, bundleIn(0, 1),
+                                               bundleOut(),
+                                               std::move(fn));
+            break;
+          }
+          case NodeKind::ordinal: {
+            // Tag each thread entering a replicate region with its
+            // arrival index: the key the region's keyed parks store
+            // under and the lane its restores look up by after the
+            // region reorders the thread stream.
+            auto fn = [count = Word{0}](const std::vector<Word> &,
+                                        std::vector<Word> &out) mutable {
+                out.push_back(count++);
             };
             engine.make<dataflow::ElementWise>(uname, bundleIn(0, 1),
                                                bundleOut(),

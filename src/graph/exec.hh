@@ -46,6 +46,12 @@ struct ExecStats
      * pair (each element costs one SRAM write and one read, also
      * counted in sramAccesses). */
     uint64_t sramParkedElems = 0;
+    /** High-water mark of simultaneously occupied park slots across
+     * every park/restore pair: how big the park buffers actually had
+     * to be. Ordinal-keyed parks of threads that die inside a region
+     * (exit/return) are never restored and stay counted — they hold
+     * their slot for the rest of the run. */
+    uint64_t sramParkedPeak = 0;
     /** Size of the executed graph (reports the optimizer's win when
      * compared against an unoptimized compile of the same program). */
     uint64_t graphNodes = 0;

@@ -942,9 +942,11 @@ class Lowering
         env_ = std::move(new_env);
     }
 
-    /** True if @p s can change the thread stream's order or count:
-     * while/if/exit/return, or a fork declaration (varDecl initialized
-     * with forkExpr multiplies the thread count). */
+    /** True if @p s can change the thread stream's order while keeping
+     * it 1:1 — while/if (iteration-order exits, filtered joins) and
+     * exit/return (thread termination). Pass-over values of such
+     * bodies must ride the region's bundles; the replicate-bufferize
+     * pass later converts pure rides into ordinal-keyed SRAM parks. */
     static bool
     bodyReordersThreads(const Stmt &s)
     {
@@ -954,10 +956,6 @@ class Lowering
           case StmtKind::exitStmt:
           case StmtKind::returnStmt:
             return true;
-          case StmtKind::varDecl:
-            if (s.value && s.value->kind == ExprKind::forkExpr)
-                return true;
-            break;
           default:
             break;
         }
@@ -967,6 +965,29 @@ class Lowering
         }
         for (const auto &child : s.other) {
             if (bodyReordersThreads(*child))
+                return true;
+        }
+        return false;
+    }
+
+    /** True if @p s multiplies the thread count: a fork declaration
+     * (varDecl initialized with forkExpr). One pass-over value per
+     * entering thread cannot re-pair with several exiting ones — not
+     * even by ordinal — so such bodies carry every live value through
+     * their broadcast trees. */
+    static bool
+    bodyMultipliesThreads(const Stmt &s)
+    {
+        if (s.kind == StmtKind::varDecl && s.value &&
+            s.value->kind == ExprKind::forkExpr) {
+            return true;
+        }
+        for (const auto &child : s.body) {
+            if (bodyMultipliesThreads(*child))
+                return true;
+        }
+        for (const auto &child : s.other) {
+            if (bodyMultipliesThreads(*child))
                 return true;
         }
         return false;
@@ -998,24 +1019,30 @@ class Lowering
         // replicated machinery, exactly the carry cost bufferization
         // exists to avoid. Their pre-region links come back afterwards
         // as region-crossing links for the replicate-bufferize pass to
-        // park. Only valid while the body keeps the thread stream
-        // intact: a while loop (iteration-order exits), a
-        // filter-lowered if, a thread-terminating exit/return, or a
-        // fork (which multiplies the thread count) re-pairs the region
-        // output with a bypassing stream incorrectly, so such bodies
-        // keep carrying every live value through their bundles. (A
-        // nested foreach is order-safe — its reduce re-collapses to
-        // one element per parent thread in parent order — but any of
-        // the disqualifying constructs anywhere below refuses,
-        // conservative.)
-        bool reorders = false;
-        for (const auto &child : s.body)
+        // park. Only valid while the body keeps the thread stream in
+        // entry order: a while loop (iteration-order exits), a
+        // filter-lowered if, or a thread-terminating exit/return
+        // re-pairs the region output with a bypassing stream
+        // positionally-incorrectly, so such bodies keep every live
+        // value riding their bundles — deliberately in a shape the
+        // replicate-bufferize pass can recognize (a pure identity lane
+        // from region entry to exit, Dfg::replicateRideLanes) and
+        // convert into an ordinal-keyed SRAM park. A fork multiplies
+        // the thread count, which no park keying can re-pair, so those
+        // bodies stay fully carried. (A nested foreach is order-safe —
+        // its reduce re-collapses to one element per parent thread in
+        // parent order — but any of the disqualifying constructs
+        // anywhere below refuses, conservative.)
+        bool reorders = false, multiplies = false;
+        for (const auto &child : s.body) {
             reorders = reorders || bodyReordersThreads(*child);
+            multiplies = multiplies || bodyMultipliesThreads(*child);
+        }
         std::set<int> body_defs;
         for (const auto &child : s.body)
             passes::collectDefs(*child, body_defs);
         std::map<int, int> stashed;
-        if (!reorders) {
+        if (!reorders && !multiplies) {
             for (auto it = env_.begin(); it != env_.end();) {
                 int slot = it->first;
                 if (slot != threadToken && !body_uses.count(slot) &&

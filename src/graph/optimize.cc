@@ -908,78 +908,452 @@ class ReplicateBufferize : public GraphPass
                 owner[l] = owner[l] == -1 ? r : -2;
         }
 
+        Surgeon s(g);
         int rewrites = 0;
         for (int r = 0; r < n_regions; ++r) {
-            // A park/restore detour re-pairs the parked stream with the
-            // region output positionally, so the region body must keep
-            // the thread stream intact. Filters and merges (a while
-            // header, an if join, thread exits) reorder threads, and
-            // counters/flattens/broadcasts/reduces change the element
-            // count unless exactly paired — only element-wise content
-            // (blocks, fanouts, sinks) is known safe; anything else
-            // keeps the region carrying its pass-over values.
-            bool order_safe = true;
+            // Classify the region body. Order-safe regions (blocks,
+            // fanouts, sinks only) keep the thread stream intact, so a
+            // positional FIFO park re-pairs correctly. Filters and
+            // merges (a while header, an if join, thread exits) emit
+            // threads out of entry order — their pass-over values ride
+            // the bundles and are converted to ordinal-keyed parks
+            // below. Counters/broadcasts/reduces multiply or contract
+            // the thread stream (a fork's distribution machinery):
+            // one parked value per entering thread cannot re-pair
+            // with several exiting ones, so such regions stay refused.
+            bool order_safe = true, multiplies = false;
             for (const auto &n : g.nodes) {
-                if (n.replicateRegion == r &&
-                    n.kind != NodeKind::block &&
+                if (n.replicateRegion != r)
+                    continue;
+                if (n.kind != NodeKind::block &&
                     n.kind != NodeKind::fanout &&
                     n.kind != NodeKind::sink) {
                     order_safe = false;
-                    break;
+                }
+                if (n.kind == NodeKind::counter ||
+                    n.kind == NodeKind::broadcast ||
+                    n.kind == NodeKind::reduce) {
+                    multiplies = true;
                 }
             }
-            if (!order_safe) {
-                g.replicates[r].bufferized = g.replicateParkedValues(r);
-                continue;
+            if (order_safe) {
+                rewrites += parkCrossings(g, r, crossings[r], owner, opts);
+            } else if (!multiplies) {
+                rewrites += keyRides(g, s, r, opts);
             }
-            std::vector<int> elig;
-            for (int l : crossings[r]) {
-                if (owner[l] != r)
-                    continue; // nested-region refusal
-                const Node &src = g.nodes[g.links[l].src];
-                const Node &dst = g.nodes[g.links[l].dst];
-                // Endpoints inside some other replicate region would
-                // put the park inside that region and replicate it.
-                if (src.replicateRegion >= 0 || dst.replicateRegion >= 0)
-                    continue;
-                if (isParkKind(src.kind) || isParkKind(dst.kind))
-                    continue;
-                // Dangling streams die in DCE; parking them buys
-                // nothing and would pin the sink alive.
-                if (dst.kind == NodeKind::sink)
-                    continue;
-                // A value also consumed inside the region already
-                // rides its distribution/collection trees; the pass-
-                // over copy is not a pure pass-over (V-C(d)).
-                if (valueEntersRegion(g, l, r))
-                    continue;
-                elig.push_back(l);
-            }
-            int parked = g.replicateParkedValues(r);
-            // Table II budget: one parked value per MU bank of the
-            // region's park buffer. Overflow bails the whole region —
-            // the collection trees must then be sized for the carried
-            // set anyway, so a partial park would not shrink them.
-            if (parked + static_cast<int>(elig.size()) >
-                opts.machine.muBanks) {
-                g.replicates[r].bufferized = parked;
-                continue;
-            }
-            for (int l : elig) {
-                parkLink(g, l, r);
-                ++rewrites;
-            }
-            g.replicates[r].bufferized =
-                parked + static_cast<int>(elig.size());
+            g.replicates[r].bufferized = g.replicateParkedValues(r);
         }
+        s.grow();
+        bool surgery =
+            std::find(s.nodeDead.begin(), s.nodeDead.end(), 1) !=
+                s.nodeDead.end() ||
+            std::find(s.linkDead.begin(), s.linkDead.end(), 1) !=
+                s.linkDead.end();
+        if (surgery)
+            s.compact();
         return rewrites;
     }
 
   private:
+    /** FIFO-park the pure crossing links of order-preserving region
+     * @p r (the PR-4 behavior, unchanged). */
+    static int
+    parkCrossings(Dfg &g, int r, const std::vector<int> &crossings,
+                  const std::vector<int> &owner,
+                  const GraphPassOptions &opts)
+    {
+        std::vector<int> elig;
+        for (int l : crossings) {
+            if (owner[l] != r)
+                continue; // nested-region refusal
+            const Node &src = g.nodes[g.links[l].src];
+            const Node &dst = g.nodes[g.links[l].dst];
+            // Endpoints inside some other replicate region would
+            // put the park inside that region and replicate it.
+            if (src.replicateRegion >= 0 || dst.replicateRegion >= 0)
+                continue;
+            if (isParkKind(src.kind) || isParkKind(dst.kind))
+                continue;
+            // Dangling streams die in DCE; parking them buys
+            // nothing and would pin the sink alive.
+            if (dst.kind == NodeKind::sink)
+                continue;
+            // A value also consumed inside the region already
+            // rides its distribution/collection trees; the pass-
+            // over copy is not a pure pass-over (V-C(d)).
+            if (valueEntersRegion(g, l, r))
+                continue;
+            elig.push_back(l);
+        }
+        int parked = g.replicateParkedValues(r);
+        // Table II budget: one parked value per MU bank of the
+        // region's park buffer. Overflow bails the whole region —
+        // the collection trees must then be sized for the carried
+        // set anyway, so a partial park would not shrink them.
+        if (parked + static_cast<int>(elig.size()) >
+            opts.machine.muBanks) {
+            return 0;
+        }
+        for (int l : elig)
+            parkLink(g, l, r);
+        return static_cast<int>(elig.size());
+    }
+
     static bool
     isParkKind(NodeKind kind)
     {
-        return kind == NodeKind::park || kind == NodeKind::restore;
+        return kind == NodeKind::park || kind == NodeKind::restore ||
+            kind == NodeKind::ordinal;
+    }
+
+    /** New helper nodes sit at the region boundary: inherit placement
+     * annotations from @p like (an outside endpoint of the rewrite). */
+    static void
+    annotateFrom(Dfg &g, Node &n, int like)
+    {
+        const Node &src = g.nodes[like];
+        n.loopDepth = src.loopDepth;
+        n.foreachDepth = src.foreachDepth;
+        n.isBulk = src.isBulk;
+    }
+
+    /**
+     * Ordinal-keyed parking for thread-reordering (but 1:1) region
+     * @p region. The pass-over values of such a region ride its
+     * bundles — lowering cannot stash them as crossing links because a
+     * positional re-pair would scramble values once the region emits
+     * threads out of entry order. For every pure ride lane
+     * (Dfg::replicateRideLanes) the value is instead parked in SRAM
+     * under its arrival ordinal before the region; one ride's
+     * in-region path per exit point is repurposed as the ordinal lane
+     * (fed by a fresh ordinal node that enumerates entering threads),
+     * the remaining ride lanes are removed from every bundle they
+     * widened, and each restore becomes an associative lookup driven
+     * by the ordinal stream emerging at the region exit. Returns the
+     * number of keyed park/restore pairs created.
+     */
+    static int
+    keyRides(Dfg &g, Surgeon &s, int region, const GraphPassOptions &opts)
+    {
+        auto rides = g.replicateRideLanes(region);
+        if (rides.empty())
+            return 0;
+
+        // Group rides by the node their exit leaves from: every member
+        // of a group exits the region in the same stream order, so one
+        // ordinal tap (the group's carrier lane) keys them all.
+        std::vector<std::vector<const ReplicateRide *>> groups;
+        {
+            std::vector<std::pair<int, int>> group_of; // producer, idx
+            for (const auto &ride : rides) {
+                // Dangling streams die in DCE; parking buys nothing.
+                if (g.nodes[g.links[ride.exit].dst].kind ==
+                    NodeKind::sink) {
+                    continue;
+                }
+                int p = g.links[ride.exit].src;
+                int gi = -1;
+                for (const auto &[prod, idx] : group_of) {
+                    if (prod == p)
+                        gi = idx;
+                }
+                if (gi < 0) {
+                    gi = static_cast<int>(groups.size());
+                    group_of.emplace_back(p, gi);
+                    groups.emplace_back();
+                }
+                groups[gi].push_back(&ride);
+            }
+        }
+        if (groups.empty())
+            return 0;
+
+        // Feasibility: a group's first member is the carrier (its lane
+        // stays, repurposed for the ordinal); every other member's
+        // lane is removed from the region, which must never empty a
+        // filter/merge bundle or strip a block's last input.
+        std::vector<int> ins_lost(g.nodes.size(), 0);
+        std::vector<int> outs_lost(g.nodes.size(), 0);
+        std::vector<std::vector<const ReplicateRide *>> plan(groups.size());
+        int total = 0;
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+            for (size_t mi = 0; mi < groups[gi].size(); ++mi) {
+                const ReplicateRide *ride = groups[gi][mi];
+                if (mi == 0) {
+                    plan[gi].push_back(ride);
+                    ++total;
+                    continue;
+                }
+                std::vector<std::pair<int, int>> din, dout;
+                auto bump = [](std::vector<std::pair<int, int>> &v,
+                               int id) {
+                    for (auto &[nid, cnt] : v) {
+                        if (nid == id) {
+                            ++cnt;
+                            return;
+                        }
+                    }
+                    v.emplace_back(id, 1);
+                };
+                for (int l : ride->links) {
+                    int dst = g.links[l].dst, src = g.links[l].src;
+                    if (g.nodes[dst].replicateRegion == region)
+                        bump(din, dst);
+                    if (g.nodes[src].replicateRegion == region)
+                        bump(dout, src);
+                }
+                bool fits = true;
+                for (const auto &[nid, lost] : dout) {
+                    const Node &n = g.nodes[nid];
+                    if (n.kind == NodeKind::filter ||
+                        n.kind == NodeKind::fwdMerge ||
+                        n.kind == NodeKind::fbMerge) {
+                        fits = fits &&
+                            static_cast<int>(n.outs.size()) -
+                                outs_lost[nid] - lost >= 1;
+                    }
+                }
+                for (const auto &[nid, lost] : din) {
+                    const Node &n = g.nodes[nid];
+                    if (n.kind == NodeKind::block) {
+                        fits = fits &&
+                            static_cast<int>(n.ins.size()) -
+                                ins_lost[nid] - lost >= 1;
+                    }
+                }
+                if (!fits)
+                    continue;
+                for (const auto &[nid, lost] : din)
+                    ins_lost[nid] += lost;
+                for (const auto &[nid, lost] : dout)
+                    outs_lost[nid] += lost;
+                plan[gi].push_back(ride);
+                ++total;
+            }
+        }
+
+        // Table II budget: keyed slots share the region's MU banks
+        // with FIFO parks. Overflow bails the whole region, mirroring
+        // the crossing-park discipline.
+        if (g.replicateParkedValues(region) + total >
+            opts.machine.muBanks) {
+            return 0;
+        }
+
+        std::vector<char> dead;
+        for (const auto &members : plan) {
+            if (members.empty())
+                continue;
+            const ReplicateRide *carrier = members[0];
+
+            // Exit consumer ports, recorded before any rewiring.
+            std::vector<std::pair<int, int>> ports;
+            for (const ReplicateRide *m : members) {
+                int c = g.links[m->exit].dst;
+                ports.emplace_back(c, indexOf(g.nodes[c].ins, m->exit));
+            }
+            const int anno = ports[0].first;
+
+            // Carrier entry -> fanout{park value, ordinal}; the fresh
+            // ordinal stream takes over the carrier's region-entry
+            // port and rides its old path through every bundle.
+            const int entry = carrier->entry;
+            const int into = g.links[entry].dst;
+            const int into_port = indexOf(g.nodes[into].ins, entry);
+            const std::string base = g.links[entry].name;
+
+            auto &fan = g.newNode(NodeKind::fanout, "ordfan." + base);
+            annotateFrom(g, fan, anno);
+            const int fan_id = fan.id;
+            g.links[entry].dst = fan_id;
+            g.nodes[fan_id].ins.push_back(entry);
+            int vlink = g.newLink(base + ".v", g.links[entry].elem);
+            g.connectOut(fan_id, vlink);
+            int tlink = g.newLink(base + ".th", Scalar::i32);
+            g.connectOut(fan_id, tlink);
+
+            auto &ord = g.newNode(NodeKind::ordinal, "ord." + base);
+            ord.parkRegion = region;
+            annotateFrom(g, ord, anno);
+            const int ord_id = ord.id;
+            g.connectIn(ord_id, tlink);
+            int ord_link = g.newLink(base + ".ord", Scalar::i32);
+            g.connectOut(ord_id, ord_link);
+            g.links[ord_link].dst = into;
+            g.nodes[into].ins[into_port] = ord_link;
+            for (int l : carrier->links) {
+                if (l != entry)
+                    g.links[l].elem = Scalar::i32;
+            }
+
+            // The ordinal stream emerging at the region exit keys
+            // every restore of the group.
+            const int exit = carrier->exit;
+            std::vector<int> keys;
+            if (members.size() > 1) {
+                auto &kfan =
+                    g.newNode(NodeKind::fanout, "keyfan." + base);
+                annotateFrom(g, kfan, anno);
+                const int kfan_id = kfan.id;
+                g.links[exit].dst = kfan_id;
+                g.nodes[kfan_id].ins.push_back(exit);
+                for (size_t i = 0; i < members.size(); ++i) {
+                    int kl = g.newLink(base + ".key", Scalar::i32);
+                    g.connectOut(kfan_id, kl);
+                    keys.push_back(kl);
+                }
+            } else {
+                keys.push_back(exit);
+            }
+
+            for (size_t i = 0; i < members.size(); ++i) {
+                const ReplicateRide *m = members[i];
+                const Scalar elem = g.links[m->entry].elem;
+                const std::string nm = g.links[m->entry].name;
+                auto &park = g.newNode(NodeKind::park, "park." + nm);
+                park.parkRegion = region;
+                park.keyed = true;
+                annotateFrom(g, park, anno);
+                const int pk = park.id;
+                auto &rest =
+                    g.newNode(NodeKind::restore, "restore." + nm);
+                rest.parkRegion = region;
+                rest.keyed = true;
+                annotateFrom(g, rest, anno);
+                const int rs = rest.id;
+                if (i == 0) {
+                    g.connectIn(pk, vlink);
+                } else {
+                    g.links[m->entry].dst = pk;
+                    g.nodes[pk].ins.push_back(m->entry);
+                }
+                int sram = g.newLink(nm + ".park", elem);
+                g.connectOut(pk, sram);
+                g.connectIn(rs, sram);
+                g.links[keys[i]].dst = rs;
+                g.nodes[rs].ins.push_back(keys[i]);
+                int rst = g.newLink(nm + ".rst", elem);
+                g.connectOut(rs, rst);
+                g.links[rst].dst = ports[i].first;
+                g.nodes[ports[i].first].ins[ports[i].second] = rst;
+            }
+
+            // Non-carrier ride paths leave the region's bundles.
+            dead.resize(g.links.size(), 0);
+            for (size_t i = 1; i < members.size(); ++i) {
+                for (int l : members[i]->links) {
+                    if (l == members[i]->entry)
+                        continue;
+                    dead[l] = 1;
+                }
+            }
+        }
+        s.grow();
+        if (!dead.empty()) {
+            dead.resize(g.links.size(), 0);
+            for (size_t l = 0; l < dead.size(); ++l) {
+                if (dead[l])
+                    s.linkDead[l] = 1;
+            }
+            sweepLanes(g, s, dead);
+        }
+        return total;
+    }
+
+    /**
+     * Drop every port referencing a removed ride lane. A port is gone
+     * when its link is marked dead or no longer names the node as its
+     * endpoint (the lane's entry was redirected into a park). Bundle
+     * nodes drop whole lanes; fanouts/flattens/sinks whose core link
+     * is gone die outright (their remaining links are dead too).
+     */
+    static void
+    sweepLanes(Dfg &g, Surgeon &s, const std::vector<char> &dead)
+    {
+        auto gone_in = [&](const Node &n, int l) {
+            return dead[l] || g.links[l].dst != n.id;
+        };
+        auto gone_out = [&](const Node &n, int l) {
+            return dead[l] || g.links[l].src != n.id;
+        };
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (s.nodeDead[i])
+                continue;
+            switch (n.kind) {
+              case NodeKind::block: {
+                std::vector<int> ins, in_regs, outs, out_regs;
+                for (size_t j = 0; j < n.ins.size(); ++j) {
+                    if (!gone_in(n, n.ins[j])) {
+                        ins.push_back(n.ins[j]);
+                        in_regs.push_back(n.inputRegs[j]);
+                    }
+                }
+                for (size_t j = 0; j < n.outs.size(); ++j) {
+                    if (!gone_out(n, n.outs[j])) {
+                        outs.push_back(n.outs[j]);
+                        out_regs.push_back(n.outputRegs[j]);
+                    }
+                }
+                n.ins = std::move(ins);
+                n.inputRegs = std::move(in_regs);
+                n.outs = std::move(outs);
+                n.outputRegs = std::move(out_regs);
+                break;
+              }
+              case NodeKind::filter: {
+                std::vector<int> ins{n.ins[0]}, outs;
+                for (size_t j = 0; j < n.outs.size(); ++j) {
+                    if (!gone_out(n, n.outs[j])) {
+                        outs.push_back(n.outs[j]);
+                        ins.push_back(n.ins[j + 1]);
+                    }
+                }
+                n.ins = std::move(ins);
+                n.outs = std::move(outs);
+                break;
+              }
+              case NodeKind::fwdMerge:
+              case NodeKind::fbMerge: {
+                const size_t half = n.outs.size();
+                std::vector<int> ins_a, ins_b, outs;
+                for (size_t j = 0; j < half; ++j) {
+                    if (!gone_out(n, n.outs[j])) {
+                        outs.push_back(n.outs[j]);
+                        ins_a.push_back(n.ins[j]);
+                        ins_b.push_back(n.ins[j + half]);
+                    }
+                }
+                n.ins = std::move(ins_a);
+                n.ins.insert(n.ins.end(), ins_b.begin(), ins_b.end());
+                n.outs = std::move(outs);
+                break;
+              }
+              case NodeKind::fanout: {
+                if (gone_in(n, n.ins[0])) {
+                    s.nodeDead[i] = 1;
+                    break;
+                }
+                std::vector<int> outs;
+                for (int l : n.outs) {
+                    if (!gone_out(n, l))
+                        outs.push_back(l);
+                }
+                n.outs = std::move(outs);
+                if (n.outs.empty())
+                    s.nodeDead[i] = 1;
+                break;
+              }
+              case NodeKind::flatten:
+              case NodeKind::sink:
+                if (gone_in(n, n.ins[0]))
+                    s.nodeDead[i] = 1;
+                break;
+              default:
+                break;
+            }
+        }
     }
 
     /** True if a fanout copy of @p link's value is consumed inside

@@ -24,14 +24,22 @@
  *  - deadNodeElim: prune nodes whose outputs all dangle into sinks
  *    (transitively) and have no memory effects, shrinking fanouts and
  *    filter/merge bundles along the way;
- *  - replicateBufferize (Section V-C(d)): detour values that pass over
- *    a replicate region — produced before it, consumed after it, never
- *    entering it — through an SRAM park/restore pair so the region's
- *    distribution and collection trees do not have to carry them. The
- *    pass refuses values entangled with another region (nesting) and
- *    bails on regions whose pass-over count exceeds the Table II MU
- *    bank budget, then re-derives ReplicateInfo::bufferized from the
- *    rewritten graph;
+ *  - replicateBufferize (Section V-C(d)): park pass-over values of a
+ *    replicate region in SRAM so the region's distribution and
+ *    collection trees do not have to carry them. Order-preserving
+ *    regions get positional FIFO park/restore detours on their
+ *    crossing links; thread-reordering (but 1:1) regions — a while or
+ *    if body whose filters/merges emit threads out of entry order —
+ *    get ordinal-keyed parking: each pure ride lane's value is parked
+ *    under its arrival index, one ride path per exit point is
+ *    repurposed as an ordinal lane fed by a thread-enumerating
+ *    ordinal node, and every restore becomes an associative lookup
+ *    keyed by the ordinal stream emerging at the region exit. The
+ *    pass refuses values entangled with another region (nesting),
+ *    thread-multiplying regions (a fork's counter/broadcast
+ *    machinery), and bails on regions whose park count exceeds the
+ *    Table II MU bank budget, then re-derives
+ *    ReplicateInfo::bufferized from the rewritten graph;
  *  - subwordPack (Section V-B(d)): share 32-bit lanes between narrow
  *    (i8/i16/bool) streams entering the same fwdMerge/fbMerge, with
  *    mask/shift pack blocks on both input bundles and an unpack block

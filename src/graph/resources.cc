@@ -173,8 +173,12 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
             break;
           case NodeKind::park:
           case NodeKind::restore:
-            // Park buffers are charged per replicate region below
-            // (bufferMU), not per node.
+          case NodeKind::ordinal:
+            // Park buffers (and the ordinal lane keying them) are
+            // charged per replicate region below (bufferMU), not per
+            // node. The ordinal lane's width inside the region is
+            // already real: it rides the bundles, so the merge widths
+            // counted above include it.
             break;
         }
     }
@@ -184,27 +188,48 @@ analyzeResources(Dfg &dfg, const sim::MachineConfig &machine,
 
     // ---- replicate distribution / collection (V-C(d), V-B(b)) ----------
     // Both sides of the bufferization trade-off are read off the graph
-    // itself: pass-over links the replicate-bufferize pass detoured
-    // through park/restore pairs cost SRAM (bufferMU); pass-over links
-    // still crossing the region in the wire (pass disabled, budget
-    // bail, or edge-case refusal) must be carried through the region's
-    // distribution and merge trees instead.
+    // itself: pass-over values the replicate-bufferize pass detoured
+    // through park/restore pairs cost SRAM (bufferMU); pass-over
+    // values still carried — crossing links around an order-preserving
+    // region, or pure ride lanes through a thread-reordering one (pass
+    // disabled, budget bail, or edge-case refusal) — must instead wait
+    // in the region's distribution and merge trees, costing retiming
+    // buffers in every replica.
     for (const auto &region : dfg.replicates) {
-        int parked = dfg.replicateParkedValues(region.id);
+        int fifo_parked = 0, keyed_parked = 0, ordinal_lanes = 0;
+        for (const auto &node : dfg.nodes) {
+            if (node.kind == NodeKind::park &&
+                node.parkRegion == region.id) {
+                ++(node.keyed ? keyed_parked : fifo_parked);
+            }
+            if (node.kind == NodeKind::ordinal &&
+                node.parkRegion == region.id) {
+                ++ordinal_lanes;
+            }
+        }
         int carried =
             static_cast<int>(dfg.replicatePassOverLinks(region.id).size());
-        int live = region.liveValuesIn + carried;
+        int riding =
+            static_cast<int>(dfg.replicateRideLanes(region.id).size());
+        int live = region.liveValuesIn + carried + riding;
         // Work distribution: one filter tree + retiming per replica;
         // collection: a forward-merge tree.
         rep.replCU += ceilDiv(region.replicas * std::max(live, 1), 4);
         rep.replMU += opts.toggles.hoistAllocators ? 1 : region.replicas;
-        // Pass-over buffering: a parked value occupies one SRAM slot;
-        // a carried value must instead wait in the distribution and
-        // collection trees, costing retiming buffers in every replica
-        // — the waste bufferization exists to avoid (V-C(d)).
-        rep.bufferMU += parked > 0 ? ceilDiv(parked, 4) : 0;
+        // A FIFO-parked value occupies one SRAM slot. A keyed park
+        // additionally stores its ordinal key, and the region carries
+        // one ordinal lane per exit point, so keyed slots and ordinal
+        // lanes share the park buffer's banks. Values still carried or
+        // riding pay the per-replica retiming fallback instead — the
+        // waste bufferization exists to avoid (V-C(d)).
+        rep.bufferMU += fifo_parked > 0 ? ceilDiv(fifo_parked, 4) : 0;
+        rep.bufferMU += keyed_parked > 0
+            ? ceilDiv(keyed_parked + ordinal_lanes, 4)
+            : 0;
         rep.bufferMU +=
             carried > 0 ? ceilDiv(carried * region.replicas, 4) : 0;
+        rep.bufferMU +=
+            riding > 0 ? ceilDiv(riding * region.replicas, 4) : 0;
         rep.retimeMU += region.replicas; // link-retiming buffers
     }
 

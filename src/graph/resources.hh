@@ -46,9 +46,11 @@ struct ResourceReport
     // Replicate distribution/collection overhead.
     int replCU = 0, replMU = 0;
     // Buffering MUs. bufferMU is the pass-over value cost: one SRAM
-    // slot per value the replicate-bufferize pass parked, or
-    // per-replica retiming buffers for values still carried through
-    // the region's trees (pass disabled or bailed).
+    // slot per value the replicate-bufferize pass parked (keyed parks
+    // of thread-reordering regions additionally pay for the ordinal
+    // lane that keys them), or per-replica retiming buffers for values
+    // still carried through the region's trees — as crossing links or
+    // as pure ride lanes (pass disabled or bailed).
     int deadlockMU = 0, bufferMU = 0, retimeMU = 0;
 
     int replicateFactor = 1;

@@ -270,6 +270,85 @@ TEST(DfgVerify, RejectsParkArity)
     EXPECT_THROW(g.verify(), std::logic_error);
 }
 
+namespace
+{
+
+/** parkedGraph with the pair upgraded to ordinal keying: a second
+ * source feeds the restore's key input and an ordinal node taps the
+ * block's stream. */
+Dfg
+keyedParkedGraph()
+{
+    Dfg g = parkedGraph();
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::park || n.kind == NodeKind::restore)
+            n.keyed = true;
+    }
+    auto &keysrc = g.newNode(NodeKind::source, "__keys");
+    int raw = g.newLink("raw");
+    g.connectOut(keysrc.id, raw);
+    auto &ord = g.newNode(NodeKind::ordinal, "ord.b");
+    ord.parkRegion = 0;
+    g.connectIn(ord.id, raw);
+    int key = g.newLink("b.ord");
+    g.connectOut(ord.id, key);
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::restore) {
+            g.links[key].dst = n.id;
+            n.ins.push_back(key);
+        }
+    }
+    return g;
+}
+
+} // namespace
+
+TEST(DfgVerify, AcceptsKeyedParkRestorePair)
+{
+    EXPECT_NO_THROW(keyedParkedGraph().verify());
+}
+
+TEST(DfgVerify, RejectsKeyedFlagMismatch)
+{
+    Dfg g = keyedParkedGraph();
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::park)
+            n.keyed = false; // restore still expects ordinal keys
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgVerify, RejectsKeyedRestoreWithoutKeyInput)
+{
+    Dfg g = parkedGraph();
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::park || n.kind == NodeKind::restore)
+            n.keyed = true; // keyed pair, but no key stream wired
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgVerify, RejectsOrdinalArityAndRegion)
+{
+    Dfg g = keyedParkedGraph();
+    for (auto &n : g.nodes) {
+        if (n.kind == NodeKind::ordinal)
+            n.parkRegion = 3; // no such region
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
+TEST(DfgDot, KeyedParkAndOrdinalRender)
+{
+    std::string dot = keyedParkedGraph().toDot();
+    EXPECT_NE(dot.find("park\\npark.b\\nkeyed region 0\" shape=cylinder"),
+              std::string::npos)
+        << dot;
+    EXPECT_NE(dot.find("ordinal\\nord.b\\nregion 0\" shape=diamond"),
+              std::string::npos)
+        << dot;
+}
+
 TEST(DfgDot, ParkRendersAsRegionTaggedCylinder)
 {
     std::string dot = parkedGraph().toDot();

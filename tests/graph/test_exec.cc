@@ -456,6 +456,201 @@ TEST(DataflowExec, HashProbeLoop)
     compareCompiledToInterp(src, fill, {32});
 }
 
+// ---------------------------------------------------------------------
+// Keyed-SRAM park/restore semantics (ordinal-keyed replicate
+// bufferization): hand-built graphs drive the executor directly.
+
+namespace
+{
+
+using graph::BlockOp;
+using graph::Dfg;
+using graph::NodeKind;
+using graph::OpKind;
+
+const lang::Program &
+outProgram()
+{
+    static lang::Program prog = lang::parseAndAnalyze(
+        "DRAM<int> out; void main(int n) { out[0] = n; }");
+    return prog;
+}
+
+/**
+ * counter 0..n -> {blockV: v=i*7+3 -> keyed park}, {blockK: k=n-1-i ->
+ * restore key + write address}; restore output lands in out[k]. The
+ * key stream is the exact reverse of park order, so every lookup is
+ * out of order: out[k] == k*7+3 only if the restore re-pairs by key.
+ */
+Dfg
+reversedRestoreGraph(int n)
+{
+    Dfg g;
+    graph::ReplicateInfo info;
+    info.id = 0;
+    info.replicas = 2;
+    g.replicates.push_back(info);
+
+    auto &src = g.newNode(NodeKind::source, "__start");
+    int tok = g.newLink("tok");
+    g.connectOut(src.id, tok);
+
+    auto &bounds = g.newNode(NodeKind::block, "bounds");
+    g.connectIn(bounds.id, tok);
+    bounds.inputRegs = {0};
+    bounds.nRegs = 4;
+    auto cnst = [&](graph::Node &blk, int dst, sltf::Word imm) {
+        BlockOp op;
+        op.kind = OpKind::cnst;
+        op.dst = dst;
+        op.imm = imm;
+        blk.ops.push_back(op);
+    };
+    cnst(bounds, 1, 0);
+    cnst(bounds, 2, static_cast<sltf::Word>(n));
+    cnst(bounds, 3, 1);
+    int lmin = g.newLink("min"), lmax = g.newLink("max"),
+        lstep = g.newLink("step");
+    bounds.outputRegs = {1, 2, 3};
+    for (int l : {lmin, lmax, lstep})
+        g.connectOut(bounds.id, l);
+
+    auto &ctr = g.newNode(NodeKind::counter, "threads");
+    for (int l : {lmin, lmax, lstep})
+        g.connectIn(ctr.id, l);
+    int iv = g.newLink("iv");
+    g.connectOut(ctr.id, iv);
+    auto &fan = g.newNode(NodeKind::fanout, "fan");
+    g.connectIn(fan.id, iv);
+    int iv_a = g.newLink("iva"), iv_b = g.newLink("ivb");
+    g.connectOut(fan.id, iv_a);
+    g.connectOut(fan.id, iv_b);
+
+    auto binop = [&](graph::Node &blk, OpKind kind, int dst, int a,
+                     int b) {
+        BlockOp op;
+        op.kind = kind;
+        op.dst = dst;
+        op.a = a;
+        op.b = b;
+        blk.ops.push_back(op);
+    };
+
+    // v = i * 7 + 3, in thread order.
+    auto &bv = g.newNode(NodeKind::block, "blockV");
+    g.connectIn(bv.id, iv_a);
+    bv.inputRegs = {0};
+    bv.nRegs = 5;
+    cnst(bv, 1, 7);
+    binop(bv, OpKind::mul, 2, 0, 1);
+    cnst(bv, 3, 3);
+    binop(bv, OpKind::add, 4, 2, 3);
+    int v = g.newLink("v");
+    bv.outputRegs = {4};
+    g.connectOut(bv.id, v);
+
+    // k = n-1-i: the reversed key/address stream.
+    auto &bk = g.newNode(NodeKind::block, "blockK");
+    g.connectIn(bk.id, iv_b);
+    bk.inputRegs = {0};
+    bk.nRegs = 3;
+    cnst(bk, 1, static_cast<sltf::Word>(n - 1));
+    binop(bk, OpKind::sub, 2, 1, 0);
+    int k = g.newLink("k");
+    bk.outputRegs = {2};
+    g.connectOut(bk.id, k);
+    auto &kfan = g.newNode(NodeKind::fanout, "kfan");
+    g.connectIn(kfan.id, k);
+    int k_key = g.newLink("k.key"), k_addr = g.newLink("k.addr");
+    g.connectOut(kfan.id, k_key);
+    g.connectOut(kfan.id, k_addr);
+
+    auto &park = g.newNode(NodeKind::park, "park.v");
+    park.parkRegion = 0;
+    park.keyed = true;
+    g.connectIn(park.id, v);
+    int sram = g.newLink("v.park");
+    g.connectOut(park.id, sram);
+    auto &rest = g.newNode(NodeKind::restore, "restore.v");
+    rest.parkRegion = 0;
+    rest.keyed = true;
+    g.connectIn(rest.id, sram);
+    g.connectIn(rest.id, k_key);
+    int rst = g.newLink("v.rst");
+    g.connectOut(rest.id, rst);
+
+    auto &wr = g.newNode(NodeKind::block, "write");
+    g.connectIn(wr.id, k_addr);
+    g.connectIn(wr.id, rst);
+    wr.inputRegs = {0, 1};
+    wr.nRegs = 2;
+    BlockOp st;
+    st.kind = OpKind::dramWrite;
+    st.a = 0;
+    st.b = 1;
+    st.dram = 0;
+    wr.ops.push_back(st);
+    g.verify();
+    return g;
+}
+
+} // namespace
+
+TEST(DataflowExec, KeyedRestoreRepairsOutOfOrderThreads)
+{
+    const int n = 8;
+    Dfg g = reversedRestoreGraph(n);
+    for (auto policy : {dataflow::Engine::Policy::roundRobin,
+                        dataflow::Engine::Policy::worklist}) {
+        DramImage dram(outProgram());
+        dram.resize("out", n * 4);
+        auto stats = graph::execute(g, dram, {}, 1u << 24, policy);
+        EXPECT_TRUE(stats.drained);
+        auto out = dram.read<int32_t>("out");
+        for (int i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i], i * 7 + 3)
+                << "slot " << i << " mispaired after reversed restore";
+        }
+        EXPECT_EQ(stats.sramParkedElems, static_cast<uint64_t>(n));
+    }
+}
+
+TEST(DataflowExec, ParkedSlotHighWaterMark)
+{
+    // Key 7 arrives first but value 7 parks last, so the restore must
+    // buffer every value before it can emit a single one: the
+    // occupancy high-water mark is exactly n, regardless of schedule.
+    const int n = 8;
+    Dfg g = reversedRestoreGraph(n);
+    for (auto policy : {dataflow::Engine::Policy::roundRobin,
+                        dataflow::Engine::Policy::worklist}) {
+        DramImage dram(outProgram());
+        dram.resize("out", n * 4);
+        auto stats = graph::execute(g, dram, {}, 1u << 24, policy);
+        EXPECT_EQ(stats.sramParkedPeak, static_cast<uint64_t>(n));
+    }
+}
+
+TEST(DataflowExec, MismatchedOrdinalKeysRejectedByVerify)
+{
+    // A keyed park feeding an unkeyed restore (or vice versa) is a
+    // corrupted pair: the park stores by ordinal, the restore would
+    // pop positionally. verify() must reject both directions.
+    Dfg g = reversedRestoreGraph(4);
+    for (auto &node : g.nodes) {
+        if (node.kind == NodeKind::restore)
+            node.keyed = false;
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+    for (auto &node : g.nodes) {
+        if (node.kind == NodeKind::restore)
+            node.keyed = true;
+        if (node.kind == NodeKind::park)
+            node.keyed = false;
+    }
+    EXPECT_THROW(g.verify(), std::logic_error);
+}
+
 TEST(DataflowExec, GraphShapeSanity)
 {
     Program prog = lang::parseAndAnalyze(R"(

@@ -9,7 +9,10 @@
  * DRAM reads and index-keyed DRAM writes), fanouts, if-diamonds
  * (filter pair + forward merge), counter/broadcast/reduce expansions,
  * full while-loop templates (fbMerge header with backedge filters),
- * replicate regions with genuine pass-over links, and narrow
+ * replicate regions with genuine pass-over links — order-preserving
+ * block pipelines with crossing links AND thread-reordering bodies
+ * (a whole while template inside the region) whose pass-over lanes
+ * ride the bundles for ordinal-keyed parking — and narrow
  * (i8/i16/bool) lanes that exercise sub-word packing. Every graph is
  * Dfg::verify()-clean by construction and executes to quiescence.
  *
@@ -28,9 +31,12 @@
  * DRAM writes keyed by a per-thread unique index lane that rides
  * every filter/merge bundle, so thread reordering inside whiles and
  * diamonds cannot make output schedule-dependent; values never bypass
- * a reordering construct outside its bundles (pass-over links are
- * generated only around order-preserving replicate regions, matching
- * the replicate-bufferize soundness rule).
+ * a reordering construct outside its bundles. Pass-over values come
+ * in both supported shapes: crossing links around order-preserving
+ * replicate regions (FIFO parking), and pure ride lanes through
+ * regions whose body is a full while template (ordinal-keyed
+ * parking — the index lane and every untouched data lane ride the
+ * reordering region's bundles and get converted to keyed parks).
  */
 
 #include <gtest/gtest.h>
@@ -179,6 +185,19 @@ class RandomDfg
     int threads_ = 0;
     int writeSlots_ = 0; ///< scratch rows consumed by write stages
     int nameId_ = 0;
+    /** While set, every node the structural helpers create belongs to
+     * this replicate region (the reordering-replicate template wraps
+     * a whole while template in one). */
+    int regionMark_ = -1;
+
+    void
+    tag(int nodeId)
+    {
+        if (regionMark_ >= 0) {
+            graph.nodes[nodeId].replicateRegion = regionMark_;
+            graph.replicates[regionMark_].nodeIds.push_back(nodeId);
+        }
+    }
 
     int
     pick(int lo, int hi) // inclusive
@@ -291,8 +310,11 @@ class RandomDfg
               case 7:
                 stageWhile();
                 break;
-              default:
+              case 8:
                 stageReplicate();
+                break;
+              default:
+                stageReplicateWhile();
                 break;
             }
         }
@@ -387,6 +409,7 @@ class RandomDfg
         std::vector<std::vector<int>> out(n);
         for (int link : links) {
             auto &fan = graph.newNode(NodeKind::fanout, uniq("fan"));
+            tag(fan.id);
             graph.connectIn(fan.id, link);
             for (int c = 0; c < n; ++c) {
                 int l = graph.newLink(uniq("c"),
@@ -403,6 +426,7 @@ class RandomDfg
                  const std::vector<int> &existing = {})
     {
         auto &f = graph.newNode(NodeKind::filter, uniq("flt"));
+        tag(f.id);
         f.sense = sense;
         graph.connectIn(f.id, pred);
         std::vector<int> outs;
@@ -692,6 +716,120 @@ class RandomDfg
             lanes_[i] = inside[i];
     }
 
+    /**
+     * Thread-reordering replicate region: the full while template
+     * (fanouts, enter/skip filters, fbMerge header, backedge and exit
+     * filters, flatten, join) lives inside one region, so the region
+     * emits threads out of entry order. The countdown lane v and its
+     * source lane are consumed inside; the index lane and every other
+     * data lane ride the bundles as pure identity lanes — genuine
+     * pass-over links in the reordering shape, which replicate-
+     * bufferize converts to ordinal-keyed park/restore pairs.
+     */
+    void
+    stageReplicateWhile()
+    {
+        int rid = static_cast<int>(graph.replicates.size());
+        ReplicateInfo info;
+        info.id = rid;
+        info.replicas = pick(2, 4);
+        info.liveValuesIn = 1;
+        graph.replicates.push_back(info);
+        regionMark_ = rid;
+
+        // Entry block (inside the region): identity on the whole
+        // group plus the countdown v and its predicate, both derived
+        // from the last lane (which therefore keeps riding untouched
+        // by the rewrite — it is read here, not a pure ride).
+        BlockBuilder b(graph, uniq("rpred"));
+        tag(b.id);
+        int rIdx = b.input(indexLink_);
+        std::vector<int> regs{rIdx};
+        for (auto &lane : lanes_)
+            regs.push_back(b.input(lane.link));
+        int v = b.op(OpKind::andb, regs.back(), b.cnst(3));
+        int pred = b.op(OpKind::ne, v, b.cnst(0));
+        indexLink_ = b.output(rIdx, "index");
+        for (size_t i = 0; i < lanes_.size(); ++i)
+            lanes_[i].link =
+                b.output(regs[i + 1], uniq("d"), lanes_[i].elem);
+        lanes_.push_back({b.output(v, "v"), Scalar::i32});
+        int predLink = b.output(pred, "rp", Scalar::boolTy);
+
+        std::vector<int> bundle = groupLinks();
+        auto predCopies = fanGroup({predLink}, 2);
+        auto copies = fanGroup(bundle, 2);
+        auto enter = filterBundle(predCopies[0][0], true, copies[0]);
+        auto bypass = filterBundle(predCopies[1][0], false, copies[1]);
+
+        auto &head = graph.newNode(NodeKind::fbMerge, uniq("rwhead"));
+        tag(head.id);
+        std::vector<int> back, loop;
+        for (int l : enter)
+            graph.connectIn(head.id, l);
+        for (size_t i = 0; i < enter.size(); ++i) {
+            int l = graph.newLink(uniq("bk"), graph.links[enter[i]].elem);
+            back.push_back(l);
+            graph.connectIn(head.id, l);
+        }
+        for (size_t i = 0; i < enter.size(); ++i) {
+            int l = graph.newLink(uniq("lp"), graph.links[enter[i]].elem);
+            graph.connectOut(head.id, l);
+            loop.push_back(l);
+        }
+
+        // Body: decrement v and recompute the predicate; every other
+        // lane passes through untouched so it stays a pure ride.
+        BlockBuilder body(graph, uniq("rbody"));
+        tag(body.id);
+        std::vector<int> bodyRegs;
+        for (int l : loop)
+            bodyRegs.push_back(body.input(l));
+        int vNext = body.op(OpKind::sub, bodyRegs.back(), body.cnst(1));
+        int pred2 = body.op(OpKind::ne, vNext, body.cnst(0));
+        std::vector<int> after;
+        for (size_t i = 0; i + 1 < bodyRegs.size(); ++i) {
+            after.push_back(body.output(bodyRegs[i], uniq("d"),
+                                        graph.links[loop[i]].elem));
+        }
+        after.push_back(body.output(vNext, "v"));
+        int pred2Link = body.output(pred2, "rp2", Scalar::boolTy);
+
+        auto pred2Copies = fanGroup({pred2Link}, 2);
+        auto backCopies = fanGroup(after, 2);
+        filterBundle(pred2Copies[0][0], true, backCopies[0], back);
+        auto exits =
+            filterBundle(pred2Copies[1][0], false, backCopies[1]);
+
+        std::vector<int> stripped;
+        for (int l : exits) {
+            auto &fl = graph.newNode(NodeKind::flatten, uniq("strip"));
+            tag(fl.id);
+            graph.connectIn(fl.id, l);
+            int o = graph.newLink(uniq("x"), graph.links[l].elem);
+            graph.connectOut(fl.id, o);
+            stripped.push_back(o);
+        }
+
+        auto &join = graph.newNode(NodeKind::fwdMerge, uniq("rwjoin"));
+        tag(join.id);
+        for (int l : bypass)
+            graph.connectIn(join.id, l);
+        for (int l : stripped)
+            graph.connectIn(join.id, l);
+        std::vector<int> outs;
+        for (int l : bypass) {
+            int o = graph.newLink(uniq("w"), graph.links[l].elem);
+            graph.connectOut(join.id, o);
+            outs.push_back(o);
+        }
+        regionMark_ = -1;
+        adoptGroup(outs);
+        lanes_.pop_back(); // v has served its purpose
+        auto &sk = graph.newNode(NodeKind::sink, "sink.rv");
+        graph.connectIn(sk.id, outs.back());
+    }
+
     /** Drain the group: every lane lands in out[index * width + lane],
      * unique addresses making the observation order-insensitive. */
     void
@@ -852,6 +990,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(FuzzGenerator, GraphsAreVerifyCleanAndDiverse)
 {
     int merges = 0, whiles = 0, regions = 0, narrow = 0, crossings = 0;
+    int reordering = 0, rides = 0;
     for (uint32_t seed = 1; seed <= 60; ++seed) {
         RandomDfg gen(seed, 6);
         EXPECT_NO_THROW(gen.graph.verify()) << "seed " << seed;
@@ -862,16 +1001,49 @@ TEST(FuzzGenerator, GraphsAreVerifyCleanAndDiverse)
         regions += static_cast<int>(gen.graph.replicates.size());
         for (const auto &l : gen.graph.links)
             narrow += lang::bitWidth(l.elem) < 32;
-        for (const auto &r : gen.graph.replicates)
+        for (const auto &r : gen.graph.replicates) {
             crossings += static_cast<int>(
                 gen.graph.replicatePassOverLinks(r.id).size());
+            rides += static_cast<int>(
+                gen.graph.replicateRideLanes(r.id).size());
+            for (int id : r.nodeIds)
+                if (gen.graph.nodes[id].kind == NodeKind::fbMerge) {
+                    ++reordering;
+                    break;
+                }
+        }
     }
     EXPECT_GT(merges, 20);
     EXPECT_GT(whiles, 5);
     EXPECT_GT(regions, 10);
     EXPECT_GT(narrow, 100);
-    EXPECT_GT(crossings, 10) << "no pass-over links: replicate-"
+    EXPECT_GT(crossings, 10) << "no pass-over links: FIFO replicate-"
                                 "bufferize is not being exercised";
+    EXPECT_GT(reordering, 5) << "no thread-reordering regions";
+    EXPECT_GT(rides, 10) << "no pure ride lanes: ordinal-keyed "
+                            "parking is not being exercised";
+}
+
+TEST(FuzzGenerator, ReorderingRegionsGetOrdinalParked)
+{
+    // The templates must actually drive the ordinal machinery: run
+    // the bufferize pass alone over a batch of generated graphs and
+    // require keyed parks plus their ordinal lanes to appear.
+    int keyed = 0, ordinals = 0;
+    GraphPassOptions opts;
+    for (uint32_t seed = 1; seed <= 30; ++seed) {
+        RandomDfg gen(seed, 6);
+        auto pass = makeReplicateBufferizePass();
+        pass->run(gen.graph, opts);
+        EXPECT_NO_THROW(gen.graph.verify()) << "seed " << seed;
+        for (const auto &n : gen.graph.nodes) {
+            keyed += n.kind == NodeKind::park && n.keyed;
+            ordinals += n.kind == NodeKind::ordinal;
+        }
+    }
+    EXPECT_GT(keyed, 10);
+    EXPECT_GT(ordinals, 5);
+    EXPECT_GE(keyed, ordinals);
 }
 
 TEST(FuzzGenerator, SameSeedSameGraph)

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 
 #include "apps/apps.hh"
@@ -345,6 +346,55 @@ TEST(GraphOptEquiv, LanguageFixtures)
          [](DramImage &d) {
              d.resize("out", 32 * 4);
              return std::vector<int32_t>{12};
+         }},
+        // Pass-over values around a thread-reordering replicate body
+        // (a data-dependent while): they ride the region's bundles and
+        // replicate-bufferize converts them to ordinal-keyed parks.
+        {"reorder-replicate-passover",
+         R"(
+         DRAM<int> data; DRAM<int> out;
+         void main(int n) {
+           foreach (n) { int t =>
+             int a = data[t];
+             int k1 = t * 3 + 1;
+             int k2 = t ^ 17;
+             short k3 = t + 40;
+             int w = a & 7;
+             int h = a;
+             replicate (4) {
+               while (w != 0) { h = h * 31 + w; w = w - 1; };
+             };
+             out[t] = h + k1 - k2 + k3;
+           };
+         })",
+         [](DramImage &d) {
+             std::vector<int32_t> data(20);
+             for (int i = 0; i < 20; ++i)
+                 data[i] = i * 91 + 5;
+             d.fill("data", data);
+             d.resize("out", 20 * 4);
+             return std::vector<int32_t>{20};
+         }},
+        // Threads dying inside the region (exit under an if): their
+        // parked values are never restored; survivors still re-pair.
+        {"reorder-replicate-exit",
+         R"(
+         DRAM<int> out;
+         void main(int n) {
+           foreach (n) { int t =>
+             int k1 = t * 7 + 1;
+             int k2 = t ^ 29;
+             int h = t;
+             replicate (2) {
+               if (t % 3 == 0) { exit(); };
+               h = h * 5 + 2;
+             };
+             out[t] = h + k1 - k2;
+           };
+         })",
+         [](DramImage &d) {
+             d.resize("out", 18 * 4);
+             return std::vector<int32_t>{18};
          }},
         // Pass-over values around an order-preserving replicate
         // region: replicate-bufferize parks them in SRAM.
@@ -1081,15 +1131,338 @@ TEST(GraphOptStructure, ParkBudgetOverflowBailsWholeRegion)
     EXPECT_EQ(h.replicates[0].bufferized, budget);
 }
 
-TEST(GraphOptStructure, ReorderingRegionRefusesBufferization)
+TEST(GraphOptStructure, ReorderingRegionRefusesPositionalCrossings)
 {
-    // A filter inside the region emits threads in arrival order; a
-    // positional park/restore re-pairing would scramble values.
+    // A filter inside the region emits threads out of arrival order;
+    // its CROSSING links stay unparked (a positional FIFO re-pairing
+    // would scramble values, and none of them is a ride the ordinal
+    // machinery could key — they never enter the region).
     Dfg g = replicateShape(2, 1, /*filter_in_region=*/true);
     GraphPassOptions opts;
     EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
     g.verify();
     EXPECT_EQ(countParks(g), 0);
+}
+
+// ---------------------------------------------------------------------
+// Structural: ordinal-keyed parking on thread-reordering regions.
+
+namespace
+{
+
+/**
+ * source -> pre{p, v, x} -> region{rb(v), filter(p; v', x)} -> post:
+ * x traverses the region untouched (a pure ride lane), v is consumed
+ * by the region block, p drives the filter. The filter makes the
+ * region thread-reordering, so x is the ordinal-keyed candidate.
+ */
+Dfg
+reorderingRideShape()
+{
+    Dfg g;
+    ReplicateInfo info;
+    info.id = 0;
+    info.replicas = 2;
+    info.liveValuesIn = 1;
+
+    auto &src = g.newNode(NodeKind::source, "__start");
+    int tok = g.newLink("tok");
+    g.connectOut(src.id, tok);
+
+    auto &pre = g.newNode(NodeKind::block, "pre");
+    g.connectIn(pre.id, tok);
+    pre.inputRegs = {0};
+    pre.nRegs = 1;
+    int p = g.newLink("p"), v = g.newLink("v"), x = g.newLink("x");
+    for (int l : {p, v, x}) {
+        pre.outputRegs.push_back(0);
+        g.connectOut(pre.id, l);
+    }
+
+    auto &rb = g.newNode(NodeKind::block, "rb");
+    rb.replicateRegion = 0;
+    info.nodeIds.push_back(rb.id);
+    g.connectIn(rb.id, v);
+    rb.inputRegs = {0};
+    rb.nRegs = 2;
+    BlockOp op;
+    op.kind = OpKind::add; // consumes v: not a ride
+    op.dst = 1;
+    op.a = 0;
+    op.b = 0;
+    rb.ops.push_back(op);
+    int v2 = g.newLink("v2");
+    rb.outputRegs = {1};
+    g.connectOut(rb.id, v2);
+
+    auto &flt = g.newNode(NodeKind::filter, "flt");
+    flt.replicateRegion = 0;
+    info.nodeIds.push_back(flt.id);
+    g.connectIn(flt.id, p);
+    g.connectIn(flt.id, v2);
+    g.connectIn(flt.id, x);
+    int vf = g.newLink("vf"), xf = g.newLink("xf");
+    g.connectOut(flt.id, vf);
+    g.connectOut(flt.id, xf);
+
+    auto &post = g.newNode(NodeKind::block, "post");
+    g.connectIn(post.id, vf);
+    g.connectIn(post.id, xf);
+    post.inputRegs = {0, 1};
+    post.nRegs = 2;
+    BlockOp wr;
+    wr.kind = OpKind::dramWrite;
+    wr.a = 0;
+    wr.b = 1;
+    wr.dram = 0;
+    post.ops.push_back(wr);
+    g.replicates.push_back(info);
+    g.verify();
+    return g;
+}
+
+int
+countOrdinals(const Dfg &g)
+{
+    int n = 0;
+    for (const auto &node : g.nodes)
+        n += node.kind == NodeKind::ordinal;
+    return n;
+}
+
+} // namespace
+
+TEST(GraphOptStructure, ReorderingRideGetsOrdinalKeyed)
+{
+    Dfg g = reorderingRideShape();
+    ASSERT_EQ(g.replicateRideLanes(0).size(), 1u);
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 1);
+    g.verify();
+    EXPECT_EQ(countParks(g), 1);
+    EXPECT_EQ(countOrdinals(g), 1);
+    EXPECT_EQ(g.replicates[0].bufferized, 1);
+    EXPECT_EQ(g.replicateParkedValues(0), 1);
+    for (const auto &n : g.nodes) {
+        if (n.kind == NodeKind::park) {
+            EXPECT_TRUE(n.keyed);
+        }
+        if (n.kind == NodeKind::restore) {
+            EXPECT_TRUE(n.keyed);
+            // ins = {park link, ordinal key from the region exit}.
+            ASSERT_EQ(n.ins.size(), 2u);
+            EXPECT_EQ(g.nodes[g.links[n.ins[0]].src].kind,
+                      NodeKind::park);
+        }
+        // The ride's old lane still rides — repurposed as the i32
+        // ordinal lane — so the filter keeps its bundle width.
+        if (n.kind == NodeKind::filter) {
+            EXPECT_EQ(n.outs.size(), 2u);
+        }
+    }
+    // Idempotent: the ordinal lane is not itself a parkable ride.
+    EXPECT_TRUE(g.replicateRideLanes(0).empty());
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    EXPECT_EQ(countParks(g), 1);
+}
+
+TEST(GraphOptStructure, GuardedOverwriteInsideRegionTaintsRide)
+{
+    // A guarded write only overwrites on guard-true threads: the lane
+    // still exports the original value for guard-false ones, so it is
+    // neither a pure ride nor cleanly retired — detection must refuse
+    // it rather than park a value the region can still emit.
+    Dfg g = reorderingRideShape();
+    int x = -1;
+    for (const auto &l : g.links) {
+        if (l.name == "x")
+            x = l.id;
+    }
+    ASSERT_GE(x, 0);
+    const int flt = g.links[x].dst;
+    auto &blk = g.newNode(NodeKind::block, "guarded");
+    blk.replicateRegion = 0;
+    g.replicates[0].nodeIds.push_back(blk.id);
+    const int bid = blk.id;
+    blk.nRegs = 3;
+    blk.inputRegs = {0};
+    g.links[x].dst = bid;
+    blk.ins.push_back(x);
+    BlockOp mv;
+    mv.kind = OpKind::mov;
+    mv.dst = 1;
+    mv.a = 0;
+    blk.ops.push_back(mv);
+    BlockOp gw; // conditionally overwrites the carrying register
+    gw.kind = OpKind::add;
+    gw.dst = 0;
+    gw.a = 2;
+    gw.b = 2;
+    gw.guard = 2;
+    blk.ops.push_back(gw);
+    int x2 = g.newLink("x2");
+    blk.outputRegs = {0};
+    g.connectOut(bid, x2);
+    auto it = std::find(g.nodes[flt].ins.begin(),
+                        g.nodes[flt].ins.end(), x);
+    ASSERT_NE(it, g.nodes[flt].ins.end());
+    *it = x2;
+    g.links[x2].dst = flt;
+    g.verify();
+
+    EXPECT_TRUE(g.replicateRideLanes(0).empty());
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    EXPECT_EQ(countParks(g), 0);
+}
+
+TEST(GraphOptStructure, ThreadMultiplyingRegionStillRefused)
+{
+    // A counter inside the region (a fork's distribution machinery)
+    // multiplies the thread stream: one parked value per entering
+    // thread cannot re-pair with several exiting ones, not even by
+    // ordinal, so the region must refuse parking entirely.
+    Dfg g;
+    ReplicateInfo info;
+    info.id = 0;
+    info.replicas = 2;
+
+    auto &src = g.newNode(NodeKind::source, "__start");
+    int tok = g.newLink("tok");
+    g.connectOut(src.id, tok);
+    auto &pre = g.newNode(NodeKind::block, "pre");
+    g.connectIn(pre.id, tok);
+    pre.inputRegs = {0};
+    pre.nRegs = 1;
+    std::vector<int> outs;
+    for (const char *nm : {"m0", "m1", "m2", "x"}) {
+        int l = g.newLink(nm);
+        pre.outputRegs.push_back(0);
+        g.connectOut(pre.id, l);
+        outs.push_back(l);
+    }
+
+    auto &ctr = g.newNode(NodeKind::counter, "fork.ctr");
+    ctr.replicateRegion = 0;
+    info.nodeIds.push_back(ctr.id);
+    for (int i = 0; i < 3; ++i)
+        g.connectIn(ctr.id, outs[i]);
+    int cnt = g.newLink("cnt");
+    g.connectOut(ctr.id, cnt);
+    auto &csink = g.newNode(NodeKind::sink, "sink.cnt");
+    csink.replicateRegion = 0;
+    info.nodeIds.push_back(csink.id);
+    g.connectIn(csink.id, cnt);
+
+    // x rides an in-region block untouched: a would-be ride, but the
+    // multiplying region refuses it.
+    auto &rb = g.newNode(NodeKind::block, "rb");
+    rb.replicateRegion = 0;
+    info.nodeIds.push_back(rb.id);
+    g.connectIn(rb.id, outs[3]);
+    rb.inputRegs = {0};
+    rb.nRegs = 1;
+    int x2 = g.newLink("x2");
+    rb.outputRegs = {0};
+    g.connectOut(rb.id, x2);
+
+    auto &post = g.newNode(NodeKind::block, "post");
+    g.connectIn(post.id, x2);
+    post.inputRegs = {0};
+    post.nRegs = 1;
+    BlockOp wr;
+    wr.kind = OpKind::dramWrite;
+    wr.a = 0;
+    wr.b = 0;
+    wr.dram = 0;
+    post.ops.push_back(wr);
+    g.replicates.push_back(info);
+    g.verify();
+
+    GraphPassOptions opts;
+    EXPECT_EQ(makeReplicateBufferizePass()->run(g, opts), 0);
+    g.verify();
+    EXPECT_EQ(countParks(g), 0);
+    EXPECT_EQ(countOrdinals(g), 0);
+    EXPECT_EQ(g.replicates[0].bufferized, 0);
+}
+
+namespace
+{
+
+const char *kReorderReplicateSrc = R"(
+    DRAM<int> data; DRAM<int> out;
+    void main(int n) {
+      foreach (n) { int t =>
+        int a = data[t];
+        int k1 = t * 3 + 1;
+        int k2 = t ^ 17;
+        int w = a & 7;
+        int h = a;
+        replicate (4) {
+          while (w != 0) { h = h * 31 + w; w = w - 1; };
+        };
+        out[t] = h + k1 - k2;
+      };
+    })";
+
+int
+fbMergeWidth(const Dfg &g)
+{
+    for (const auto &n : g.nodes) {
+        if (n.kind == NodeKind::fbMerge)
+            return static_cast<int>(n.outs.size());
+    }
+    return -1;
+}
+
+} // namespace
+
+TEST(GraphOptStructure, OrdinalLaneCountedInBundleWidth)
+{
+    // Four pure rides (token, t, k1, k2) share one exit point: three
+    // lanes leave the while header's bundle, the fourth is repurposed
+    // as the ordinal lane and still occupies a bundle slot — the
+    // resource model's merge width (outs.size()) must include it.
+    CompileOptions off;
+    off.graphOpt.enable = false;
+    auto raw = CompiledProgram::compile(kReorderReplicateSrc, off);
+    auto opt = CompiledProgram::compile(kReorderReplicateSrc);
+
+    int wraw = fbMergeWidth(raw.dfg());
+    int wopt = fbMergeWidth(opt.dfg());
+    ASSERT_GT(wraw, 0);
+    ASSERT_GT(wopt, 0);
+    EXPECT_EQ(wopt, wraw - 3);
+    EXPECT_EQ(countOrdinals(opt.dfg()), 1);
+    int keyed = 0;
+    for (const auto &n : opt.dfg().nodes)
+        keyed += n.kind == NodeKind::park && n.keyed;
+    EXPECT_EQ(keyed, 4);
+
+    // The raw graph pays the per-replica retiming fallback for its
+    // riding pass-overs; the rewritten one pays keyed slots + the
+    // ordinal lane instead.
+    graph::Dfg don = opt.dfg(), doff = raw.dfg();
+    sim::MachineConfig machine;
+    auto ron = analyzeResources(don, machine, {});
+    auto roff = analyzeResources(doff, machine, {});
+    EXPECT_EQ(raw.dfg().replicateRideLanes(0).size(), 4u);
+    EXPECT_TRUE(opt.dfg().replicateRideLanes(0).empty());
+    EXPECT_GT(ron.bufferMU, 0);
+    EXPECT_LT(ron.bufferMU, roff.bufferMU);
+    EXPECT_LT(ron.replCU, roff.replCU);
+}
+
+TEST(GraphOptStructure, RewrittenReorderingRegionIsIdempotent)
+{
+    auto prog = CompiledProgram::compile(kReorderReplicateSrc);
+    graph::Dfg g = prog.dfg();
+    GraphOptReport again = optimize(g);
+    EXPECT_EQ(again.nodesBefore, again.nodesAfter);
+    for (const auto &[pass, count] : again.rewrites)
+        EXPECT_EQ(count, 0) << pass;
+    g.verify();
 }
 
 // ---------------------------------------------------------------------
@@ -1295,6 +1668,45 @@ TEST(GraphOptPipeline, ReplicateParkRoundTripExecutes)
     EXPECT_GT(ron.bufferMU, 0);
     EXPECT_LT(ron.bufferMU, roff.bufferMU);
     EXPECT_LT(ron.replCU, roff.replCU);
+}
+
+TEST(GraphOptPipeline, OrdinalParkRoundTripExecutes)
+{
+    // End to end on the thread-reordering shape PR 4 refused: the
+    // rewrite is reported, the executor routes pass-over values
+    // through the keyed SRAM detour (visible in the stats, including
+    // the occupancy high-water mark), and the DRAM output stays
+    // bit-identical to the AST interpreter under both policies.
+    auto prog = CompiledProgram::compile(kReorderReplicateSrc);
+    int buffered = 0;
+    for (const auto &[pass, count] : prog.optReport().rewrites) {
+        if (pass == "replicate-bufferize")
+            buffered = count;
+    }
+    EXPECT_GT(buffered, 0) << prog.optReport().summary();
+    ASSERT_EQ(prog.dfg().replicates.size(), 1u);
+    EXPECT_EQ(prog.dfg().replicates[0].bufferized,
+              prog.dfg().replicateParkedValues(0));
+    EXPECT_GT(prog.dfg().replicates[0].bufferized, 0);
+
+    std::vector<int32_t> data(20);
+    for (int i = 0; i < 20; ++i)
+        data[i] = i * 91 + 5;
+    lang::DramImage ref(prog.hir());
+    ref.fill("data", data);
+    ref.resize("out", 80);
+    prog.interpret(ref, {20});
+    for (auto policy : {dataflow::Engine::Policy::roundRobin,
+                        dataflow::Engine::Policy::worklist}) {
+        lang::DramImage dram(prog.hir());
+        dram.fill("data", data);
+        dram.resize("out", 80);
+        auto stats = prog.execute(dram, {20}, policy);
+        EXPECT_EQ(ref.bytes(1), dram.bytes(1));
+        EXPECT_GT(stats.sramParkedElems, 0u);
+        EXPECT_GT(stats.sramParkedPeak, 0u);
+        EXPECT_LE(stats.sramParkedPeak, stats.sramParkedElems);
+    }
 }
 
 TEST(GraphOptPipeline, SourceOrderSurvivesOptimization)
