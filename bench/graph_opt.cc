@@ -32,6 +32,7 @@
 
 #include "apps/apps.hh"
 #include "core/revet.hh"
+#include "graph/analyze.hh"
 #include "graph/resources.hh"
 
 using namespace revet;
@@ -43,6 +44,12 @@ struct RunResult
 {
     uint64_t nodes = 0, links = 0, schedSteps = 0;
     int replMU = 0, bufferMU = 0;
+    // Static-analyzer coverage (graph/analyze.hh): pass applications
+    // certified by translation validation, the balance-check verdict,
+    // and the deadlock lint's cycle census.
+    int validatedPasses = 0;
+    bool rateConsistent = false;
+    int deadlockCycles = 0, riskyCycles = 0;
     std::vector<std::vector<uint8_t>> dram;
     std::string verifyError;
 };
@@ -67,6 +74,11 @@ runOnce(const std::string &source, const Generate &generate,
     auto res = graph::analyzeResources(dfg, machine, {});
     out.replMU = res.replMU;
     out.bufferMU = res.bufferMU;
+    out.validatedPasses = prog.optReport().validatedPasses;
+    auto analysis = graph::analyzeGraph(prog.dfg(), machine);
+    out.rateConsistent = analysis.rates.consistent;
+    out.deadlockCycles = static_cast<int>(analysis.deadlock.cycles.size());
+    out.riskyCycles = analysis.deadlock.riskyCycles;
     for (int d = 0; d < dram.dramCount(); ++d)
         out.dram.push_back(dram.bytes(d));
     if (verify)
@@ -217,6 +229,8 @@ main()
     uint64_t links_off = 0, links_on = 0;
     uint64_t steps_off = 0, steps_on = 0;
     int buffer_off = 0, buffer_on = 0;
+    int validated_total = 0, risky_total = 0;
+    bool all_consistent = true;
 
     CompileOptions off;
     off.graphOpt.enable = false;
@@ -257,7 +271,9 @@ main()
                     "\"links_after\":%llu,\"sched_steps_before\":%llu,"
                     "\"sched_steps_after\":%llu,\"repl_mu_before\":%d,"
                     "\"repl_mu_after\":%d,\"buffer_mu_before\":%d,"
-                    "\"buffer_mu_after\":%d}\n",
+                    "\"buffer_mu_after\":%d,\"validated_passes\":%d,"
+                    "\"rate_consistent\":%s,\"deadlock_cycles\":%d,"
+                    "\"risky_cycles\":%d}\n",
                     fixture.name, scale,
                     static_cast<unsigned long long>(a.nodes),
                     static_cast<unsigned long long>(b.nodes),
@@ -265,7 +281,10 @@ main()
                     static_cast<unsigned long long>(b.links),
                     static_cast<unsigned long long>(a.schedSteps),
                     static_cast<unsigned long long>(b.schedSteps),
-                    a.replMU, b.replMU, a.bufferMU, b.bufferMU);
+                    a.replMU, b.replMU, a.bufferMU, b.bufferMU,
+                    b.validatedPasses,
+                    b.rateConsistent ? "true" : "false",
+                    b.deadlockCycles, b.riskyCycles);
         nodes_off += a.nodes;
         nodes_on += b.nodes;
         links_off += a.links;
@@ -276,6 +295,9 @@ main()
             buffer_off += a.bufferMU;
             buffer_on += b.bufferMU;
         }
+        validated_total += b.validatedPasses;
+        risky_total += b.riskyCycles;
+        all_consistent = all_consistent && b.rateConsistent;
     }
 
     double node_red = 1.0 - static_cast<double>(nodes_on) /
@@ -304,8 +326,18 @@ main()
     std::printf("{\"bench\":\"graph_opt\",\"app\":\"TOTAL\",\"scale\":%d,"
                 "\"node_reduction\":%.4f,\"link_reduction\":%.4f,"
                 "\"sched_step_reduction\":%.4f,"
-                "\"buffer_mu_reduction\":%.4f}\n",
-                scale, node_red, link_red, step_red, buffer_red);
+                "\"buffer_mu_reduction\":%.4f,\"validated_passes\":%d,"
+                "\"rate_consistent\":%s,\"risky_cycles\":%d}\n",
+                scale, node_red, link_red, step_red, buffer_red,
+                validated_total, all_consistent ? "true" : "false",
+                risky_total);
+
+    if (validated_total == 0 || !all_consistent) {
+        std::printf("  FAIL: certification coverage regressed "
+                    "(validated_passes=%d, rate_consistent=%s)\n",
+                    validated_total, all_consistent ? "true" : "false");
+        ok = false;
+    }
 
     if (node_red < bar) {
         std::printf("  FAIL: node reduction %.1f%% below the %.0f%% "

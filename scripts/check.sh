@@ -8,12 +8,20 @@
 #
 #   ./scripts/check.sh [BUILD_DIR]                   # full pipeline (default: build)
 #   ./scripts/check.sh --sanitize [BUILD_DIR]        # ASan+UBSan pipeline (default: build-asan)
+#   ./scripts/check.sh --tsan [BUILD_DIR]            # TSan pipeline (default: build-tsan)
+#   ./scripts/check.sh --tidy [BUILD_DIR]            # clang-tidy over src/ (default: build)
 #   ./scripts/check.sh --smoke BUILD_DIR [SUITE...]  # validate an existing build
 #
-# --sanitize runs the same configure/build/test pipeline with the
-# REVET_SANITIZE preset (-fsanitize=address,undefined, no recovery) in
-# a separate build directory, so an instrumented tree never mixes
-# objects with the regular one.
+# --sanitize / --tsan run the same configure/build/test pipeline with
+# the matching REVET_SANITIZE preset (address,undefined resp. thread,
+# no recovery) in a separate build directory, so an instrumented tree
+# never mixes objects with the regular one.
+#
+# --tidy runs clang-tidy (config: .clang-tidy at the repo root,
+# warnings-as-errors) over every src/ translation unit recorded in the
+# build directory's compile_commands.json, configuring the tree first
+# if needed. It fails with a clear message when clang-tidy is not
+# installed rather than silently passing.
 #
 # --smoke is registered with CTest as `tooling.check_smoke`: it asserts
 # that the configured tree exported compile_commands.json and produced
@@ -66,11 +74,49 @@ if [[ "${1:-}" == "--smoke" ]]; then
     exit 0
 fi
 
+tidy() {
+    local build_dir="$1"
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "check.sh: clang-tidy not found on PATH." >&2
+        echo "check.sh: install it (e.g. apt-get install clang-tidy)" \
+             "and re-run ./scripts/check.sh --tidy" >&2
+        exit 1
+    fi
+    if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+        echo "== configure ($build_dir, for compile_commands.json)"
+        cmake -B "$build_dir" -S "$repo_root" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            -DREVET_WERROR=ON \
+            -DREVET_BUILD_BENCH=ON
+    fi
+    # Only first-party translation units: the database also records
+    # fetched third-party sources (googletest) that our profile must
+    # not police.
+    local files
+    mapfile -t files < <(cd "$repo_root" && find src -name '*.cc' | sort)
+    echo "== clang-tidy (${#files[@]} files, warnings-as-errors)"
+    (cd "$repo_root" && clang-tidy -p "$build_dir" --quiet "${files[@]}")
+    echo "== check.sh: clang-tidy clean"
+}
+
+if [[ "${1:-}" == "--tidy" ]]; then
+    shift
+    build_dir="${1:-$repo_root/build}"
+    mkdir -p "$build_dir"
+    build_dir="$(cd "$build_dir" && pwd)"
+    tidy "$build_dir"
+    exit 0
+fi
+
 sanitize=OFF
 if [[ "${1:-}" == "--sanitize" ]]; then
     sanitize=ON
     shift
     build_dir="${1:-$repo_root/build-asan}"
+elif [[ "${1:-}" == "--tsan" ]]; then
+    sanitize=thread
+    shift
+    build_dir="${1:-$repo_root/build-tsan}"
 else
     build_dir="${1:-$repo_root/build}"
 fi
@@ -92,7 +138,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 echo "== test"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
-if [[ "$sanitize" == ON ]]; then
+if [[ "$sanitize" != OFF ]]; then
     # The DFG optimizer rewrites graphs in place with manual id
     # compaction — exactly the code ASan/UBSan exists for. Re-run the
     # optimizer equivalence suite explicitly so the instrumented build
@@ -106,7 +152,11 @@ if [[ "$sanitize" == ON ]]; then
     echo "== optimizer fuzz differential (sanitized, fixed seed)"
     REVET_FUZZ_SEED="${REVET_FUZZ_SEED:-20260730}" \
         "$build_dir/tests/revet_test_fuzz"
-    echo "== check.sh: all green (ASan+UBSan)"
+    if [[ "$sanitize" == thread ]]; then
+        echo "== check.sh: all green (TSan)"
+    else
+        echo "== check.sh: all green (ASan+UBSan)"
+    fi
     exit 0
 fi
 

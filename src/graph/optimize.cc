@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/analyze.hh"
 #include "graph/resources.hh"
 #include "lang/type.hh"
 
@@ -22,7 +23,7 @@ GraphOptReport::summary() const
        << " iters";
     for (const auto &[pass, count] : rewrites)
         os << "; " << pass << ": " << count;
-    os << ")";
+    os << "; validated " << validatedPasses << ")";
     return os.str();
 }
 
@@ -1728,11 +1729,23 @@ runPasses(Dfg &dfg, const std::vector<std::unique_ptr<GraphPass>> &passes,
     for (int iter = 0; iter < max_iters; ++iter) {
         int any = 0;
         for (size_t pi = 0; pi < passes.size(); ++pi) {
+            TokenAccount before;
+            if (opts.validate)
+                before = accountTokens(dfg);
             int applied = passes[pi]->run(dfg, opts);
             rep.rewrites[pi].second += applied;
             any += applied;
             if (applied && opts.verifyBetweenPasses)
                 dfg.verify();
+            if (applied && opts.validate) {
+                auto diags =
+                    validateRewrite(passes[pi]->name(), before, dfg);
+                if (hasErrors(diags)) {
+                    throw ValidationError(passes[pi]->name(),
+                                          std::move(diags));
+                }
+                ++rep.validatedPasses;
+            }
         }
         ++rep.iterations;
         if (!any)

@@ -78,6 +78,12 @@ struct GraphPassOptions
     bool subwordPack = true;
     /** Run Dfg::verify() after every pass application. */
     bool verifyBetweenPasses = true;
+    /** WaveCert-style translation validation (graph/analyze.hh): after
+     * every applied pass, account token production/consumption against
+     * the pre-pass snapshot and reject the rewrite with a
+     * ValidationError if conservation, park pairing, bundle widths, or
+     * rate balance broke. */
+    bool validate = true;
     /** Fixpoint iteration cap for the whole pipeline. */
     int maxIterations = 8;
     /** Table II limits consulted by blockFusion's cost hooks and by
@@ -110,6 +116,8 @@ struct GraphOptReport
     int nodesBefore = 0, nodesAfter = 0;
     int linksBefore = 0, linksAfter = 0;
     int iterations = 0;
+    /** Pass applications certified by translation validation. */
+    int validatedPasses = 0;
     /** Per-pass rewrite totals, in pipeline order. */
     std::vector<std::pair<std::string, int>> rewrites;
 

@@ -21,10 +21,21 @@ struct MachineConfig
     int stages = 6;   ///< pipeline stages per CU
     int vecBuffers = 4;  ///< 256-word vector input buffers per unit
     int scalBuffers = 4; ///< 64-word scalar input buffers per unit
+    int vecBufferWords = 256; ///< capacity of one vector input buffer
+    int scalBufferWords = 64; ///< capacity of one scalar input buffer
     int vecOutputs = 4;
     int scalOutputs = 4;
     int muBanks = 16;
     int muKiB = 256;
+
+    /** 32-bit words one MU bank holds: the SRAM capacity behind a
+     * single park/restore pair (replicate-bufferize budgets one bank
+     * per parked value; the deadlock lint sizes parks against it). */
+    int
+    parkBankWords() const
+    {
+        return muKiB * 1024 / 4 / muBanks;
+    }
 
     double clockGHz = 1.6;
     double areaMM2 = 189.0; ///< Capstan + Aurochs logic, 15 nm
