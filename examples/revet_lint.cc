@@ -8,6 +8,13 @@
  *   revet-lint [--json] --app NAME    # lint one Table III app
  *   revet-lint [--json] FILE          # lint a Revet source file
  *   revet-lint [--json] --all         # lint every registered app
+ *   revet-lint --absint ...           # value-range lints only
+ *
+ * --absint restricts the report to the abstract-interpretation lints
+ * (graph/absint.hh): guaranteed int32 overflow, always-empty filter
+ * arms, and effectful blocks that provably never receive data. The
+ * JSON summary then carries one count per lint code so diagnostic
+ * drift across apps is diffable.
  *
  * Translation validation runs inside the compile itself (the default
  * GraphPassOptions::validate knob): a pass application that breaks
@@ -68,12 +75,41 @@ lintSource(const std::string &source)
 }
 
 void
-printResult(const std::string &name, const LintResult &r, bool json)
+printResult(const std::string &name, const LintResult &r, bool json,
+            bool absintOnly)
 {
     std::vector<graph::Diagnostic> diags = r.compileDiags;
     for (const auto &d : r.report.all())
         diags.push_back(d);
+    if (absintOnly) {
+        std::vector<graph::Diagnostic> kept;
+        for (const auto &d : diags)
+            if (d.analysis == "absint")
+                kept.push_back(d);
+        diags = std::move(kept);
+    }
 
+    if (json && absintOnly) {
+        for (const auto &d : diags) {
+            std::string line = d.json();
+            line.insert(1, "\"program\":\"" + name + "\",");
+            std::printf("%s\n", line.c_str());
+        }
+        int overflow = 0, deadArm = 0, unreachable = 0;
+        for (const auto &d : diags) {
+            overflow += d.code == "guaranteed-overflow";
+            deadArm += d.code == "dead-filter-arm";
+            unreachable += d.code == "unreachable-effect";
+        }
+        std::printf("{\"program\":\"%s\",\"compiled\":%s,"
+                    "\"analysis\":\"absint\","
+                    "\"guaranteed_overflow\":%d,"
+                    "\"dead_filter_arm\":%d,"
+                    "\"unreachable_effect\":%d}\n",
+                    name.c_str(), r.compiled ? "true" : "false",
+                    overflow, deadArm, unreachable);
+        return;
+    }
     if (json) {
         for (const auto &d : diags) {
             std::string line = d.json();
@@ -124,12 +160,14 @@ printResult(const std::string &name, const LintResult &r, bool json)
 int
 main(int argc, char **argv)
 {
-    bool json = false, all = false;
+    bool json = false, all = false, absint = false;
     std::string appName, file;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--absint") {
+            absint = true;
         } else if (arg == "--all") {
             all = true;
         } else if (arg == "--list") {
@@ -140,7 +178,7 @@ main(int argc, char **argv)
             appName = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
-                         "usage: revet-lint [--json] "
+                         "usage: revet-lint [--json] [--absint] "
                          "(--app NAME | --all | --list | FILE)\n");
             return 2;
         } else {
@@ -152,14 +190,14 @@ main(int argc, char **argv)
     if (all) {
         for (const auto &app : apps::allApps()) {
             LintResult r = lintSource(app.source);
-            printResult(app.name, r, json);
+            printResult(app.name, r, json, absint);
             anyErrors |= r.errors;
         }
     } else if (!appName.empty()) {
         try {
             const auto &app = apps::findApp(appName);
             LintResult r = lintSource(app.source);
-            printResult(app.name, r, json);
+            printResult(app.name, r, json, absint);
             anyErrors |= r.errors;
         } catch (const std::out_of_range &) {
             std::fprintf(stderr, "revet-lint: unknown app '%s'\n",
@@ -176,11 +214,11 @@ main(int argc, char **argv)
         std::ostringstream src;
         src << in.rdbuf();
         LintResult r = lintSource(src.str());
-        printResult(file, r, json);
+        printResult(file, r, json, absint);
         anyErrors |= r.errors;
     } else {
         std::fprintf(stderr,
-                     "usage: revet-lint [--json] "
+                     "usage: revet-lint [--json] [--absint] "
                      "(--app NAME | --all | --list | FILE)\n");
         return 2;
     }

@@ -21,6 +21,21 @@ Channel::push(const Token &tok)
     const bool was_empty = fifo_.empty();
     fifo_.push_back(tok);
     ++total_pushed_;
+    if (tok.isBarrier()) {
+        ++watch_.barriersPushed;
+    } else {
+        const Word w = tok.word();
+        const int32_t s = tok.asInt();
+        if (watch_.dataPushed == 0)
+            watch_.first = w;
+        else
+            watch_.allEqual &= w == watch_.first;
+        watch_.smin = s < watch_.smin ? s : watch_.smin;
+        watch_.smax = s > watch_.smax ? s : watch_.smax;
+        watch_.umin = w < watch_.umin ? w : watch_.umin;
+        watch_.umax = w > watch_.umax ? w : watch_.umax;
+        ++watch_.dataPushed;
+    }
     if (engine_ && was_empty)
         engine_->onTokenAvailable(this);
 }

@@ -90,6 +90,24 @@ class Channel
     /** Lifetime token count, for stats and link-bandwidth analysis. */
     uint64_t totalPushed() const { return total_pushed_; }
 
+    /** Observed data-word summary over the channel's lifetime: the
+     * concrete-execution side of the abstract-interpretation soundness
+     * oracle (graph/absint.hh). Extremes are meaningless until the
+     * first data token (dataPushed() == 0). */
+    struct ValueWatch
+    {
+        uint64_t dataPushed = 0;
+        uint64_t barriersPushed = 0;
+        Word first = 0;
+        bool allEqual = true;
+        int32_t smin = std::numeric_limits<int32_t>::max();
+        int32_t smax = std::numeric_limits<int32_t>::min();
+        Word umin = std::numeric_limits<Word>::max();
+        Word umax = 0;
+    };
+
+    const ValueWatch &watch() const { return watch_; }
+
     /** Drain the remaining contents into a TokenStream. */
     TokenStream
     drain()
@@ -114,6 +132,7 @@ class Channel
     size_t capacity_;
     std::deque<Token> fifo_;
     uint64_t total_pushed_ = 0;
+    ValueWatch watch_;
     Engine *engine_ = nullptr;
     Process *producer_ = nullptr;
     Process *consumer_ = nullptr;

@@ -11,6 +11,8 @@
 #include <set>
 #include <sstream>
 
+#include "graph/absint.hh"
+
 namespace revet
 {
 namespace graph
@@ -145,54 +147,24 @@ rateSub(const Rate &a, const Rate &b)
     return rateAdd(a, rateScale(b, -1));
 }
 
-/** Constant value of @p link if its producer is a block whose feeding
- * register's last definition is an unconditional cnst. */
+/** Trip count of a counter whose (min, max, step) are all proven
+ * constant by the value-analysis lattice (absint.hh) — one fact source
+ * shared with the optimizer — applying the Counter primitive's exact
+ * semantics. */
 std::optional<long long>
-constLinkValue(const Dfg &g, int link)
-{
-    if (link < 0 || link >= static_cast<int>(g.links.size()))
-        return std::nullopt;
-    int src = g.links[link].src;
-    if (src < 0 || src >= static_cast<int>(g.nodes.size()))
-        return std::nullopt;
-    const Node &b = g.nodes[src];
-    if (b.kind != NodeKind::block)
-        return std::nullopt;
-    int idx = -1;
-    for (size_t i = 0; i < b.outs.size(); ++i)
-        if (b.outs[i] == link)
-            idx = static_cast<int>(i);
-    if (idx < 0 || idx >= static_cast<int>(b.outputRegs.size()))
-        return std::nullopt;
-    int reg = b.outputRegs[idx];
-    const BlockOp *def = nullptr;
-    for (const auto &op : b.ops)
-        if (op.dst == reg)
-            def = &op;
-    // The register must not come straight off an input link.
-    if (!def) {
-        return std::nullopt;
-    }
-    if (def->kind != OpKind::cnst || def->guard != -1)
-        return std::nullopt;
-    return static_cast<int32_t>(def->imm);
-}
-
-/** Trip count of a counter whose (min, max, step) all fold to
- * constants — the Counter primitive's exact semantics. */
-std::optional<long long>
-counterTrips(const Dfg &g, const Node &n)
+counterTrips(const Node &n, const AbsintReport &vals)
 {
     if (n.ins.size() != 3)
         return std::nullopt;
-    auto mn = constLinkValue(g, n.ins[0]);
-    auto mx = constLinkValue(g, n.ins[1]);
-    auto st = constLinkValue(g, n.ins[2]);
+    auto mn = vals.constantOf(n.ins[0]);
+    auto mx = vals.constantOf(n.ins[1]);
+    auto st = vals.constantOf(n.ins[2]);
     if (!mn || !mx || !st || *st == 0)
         return std::nullopt;
-    if (*st > 0)
-        return *mx > *mn ? (*mx - *mn + *st - 1) / *st : 0;
-    return *mn > *mx ? (*mn - *mx - *st - 1) / -*st : 0;
+    long long lo = *mn, hi = *mx, step = *st;
+    if (step > 0)
+        return hi > lo ? (hi - lo + step - 1) / step : 0;
+    return lo > hi ? (lo - hi - step - 1) / -step : 0;
 }
 
 /** Balance-equation solver over one graph's links. */
@@ -219,6 +191,7 @@ struct RateSolver
     };
 
     const Dfg &g;
+    const AbsintReport &vals; ///< shared value-analysis facts
     std::vector<std::optional<Rate>> linkRate;
     std::vector<std::string> symNames;
     std::vector<std::optional<Rate>> bindings;
@@ -229,8 +202,8 @@ struct RateSolver
     std::set<std::pair<int, std::string>> reported;
     bool consistent = true;
 
-    explicit RateSolver(const Dfg &dfg)
-        : g(dfg), linkRate(dfg.links.size())
+    RateSolver(const Dfg &dfg, const AbsintReport &vals)
+        : g(dfg), vals(vals), linkRate(dfg.links.size())
     {
     }
 
@@ -369,7 +342,7 @@ struct RateSolver
               }
               case NodeKind::counter: {
                 addClass(n.ins, n.id);
-                auto trips = counterTrips(g, n);
+                auto trips = counterTrips(n, vals);
                 if (trips && n.ins.size() == 3 && n.outs.size() == 1) {
                     linears.push_back(
                         LinCon{n.outs[0], n.ins[0], *trips, n.id});
@@ -808,6 +781,10 @@ permissionsFor(const std::string &passName)
     if (passName == "const-fold") {
         // Folds guards to constant false and removes the dead effect.
         p.dropEffects = true;
+    } else if (passName == "cross-block-const-prop") {
+        // Strips effects from blocks the abstract interpreter proves
+        // can never receive a data bundle.
+        p.dropEffects = true;
     } else if (passName == "dead-node-elim") {
         // Prunes park/restore pairs (and their ordinal lanes) whose
         // value is never consumed.
@@ -975,7 +952,13 @@ RateReport::rate(int id) const
 RateReport
 analyzeRates(const Dfg &dfg)
 {
-    RateSolver solver(dfg);
+    return analyzeRates(dfg, analyzeValues(dfg));
+}
+
+RateReport
+analyzeRates(const Dfg &dfg, const AbsintReport &vals)
+{
+    RateSolver solver(dfg, vals);
     solver.solve();
     RateReport out;
     out.linkRates.reserve(dfg.links.size());
@@ -1006,8 +989,15 @@ BufferCaps::fromMachine(const sim::MachineConfig &machine)
 DeadlockReport
 lintDeadlock(const Dfg &dfg, const BufferCaps &caps)
 {
+    return lintDeadlock(dfg, caps, analyzeValues(dfg));
+}
+
+DeadlockReport
+lintDeadlock(const Dfg &dfg, const BufferCaps &caps,
+             const AbsintReport &vals)
+{
     DeadlockReport rep;
-    RateSolver solver(dfg);
+    RateSolver solver(dfg, vals);
     solver.solve();
 
     auto constRate = [&](int link) -> std::optional<long long> {
@@ -1179,6 +1169,7 @@ AnalyzeReport::all() const
     std::vector<Diagnostic> out = rates.diagnostics;
     out.insert(out.end(), deadlock.diagnostics.begin(),
                deadlock.diagnostics.end());
+    out.insert(out.end(), values.begin(), values.end());
     return out;
 }
 
@@ -1186,7 +1177,8 @@ bool
 AnalyzeReport::hasErrors() const
 {
     return graph::hasErrors(rates.diagnostics) ||
-        graph::hasErrors(deadlock.diagnostics);
+        graph::hasErrors(deadlock.diagnostics) ||
+        graph::hasErrors(values);
 }
 
 std::string
@@ -1208,8 +1200,34 @@ AnalyzeReport
 analyzeGraph(const Dfg &dfg, const sim::MachineConfig &machine)
 {
     AnalyzeReport rep;
-    rep.rates = analyzeRates(dfg);
-    rep.deadlock = lintDeadlock(dfg, BufferCaps::fromMachine(machine));
+    // One abstract-interpretation fixpoint feeds rate analysis (counter
+    // trip counts), the deadlock lint, and the value-range lints.
+    const AbsintReport vals = analyzeValues(dfg);
+    rep.rates = analyzeRates(dfg, vals);
+    rep.deadlock =
+        lintDeadlock(dfg, BufferCaps::fromMachine(machine), vals);
+    for (const ValueFinding &f : vals.findings) {
+        Diagnostic d;
+        d.analysis = "absint";
+        d.severity = Diagnostic::Severity::warning;
+        switch (f.kind) {
+          case ValueFinding::overflow:
+            d.code = "guaranteed-overflow";
+            break;
+          case ValueFinding::deadArm:
+            d.code = "dead-filter-arm";
+            break;
+          case ValueFinding::unreachableEffect:
+            d.code = "unreachable-effect";
+            break;
+        }
+        d.message = f.detail;
+        if (f.node >= 0)
+            d.nodes.push_back(f.node);
+        if (f.link >= 0)
+            d.links.push_back(f.link);
+        rep.values.push_back(std::move(d));
+    }
     return rep;
 }
 

@@ -187,6 +187,11 @@ struct RateReport
 
 RateReport analyzeRates(const Dfg &dfg);
 
+/** As above, reusing precomputed value-analysis facts (absint.hh) so
+ * counter trip counts bind from the constancy lattice. */
+struct AbsintReport;
+RateReport analyzeRates(const Dfg &dfg, const AbsintReport &vals);
+
 // ---------------------------------------------------------------------
 // Finite-buffer deadlock lint
 // ---------------------------------------------------------------------
@@ -236,6 +241,8 @@ struct DeadlockReport
 };
 
 DeadlockReport lintDeadlock(const Dfg &dfg, const BufferCaps &caps = {});
+DeadlockReport lintDeadlock(const Dfg &dfg, const BufferCaps &caps,
+                            const AbsintReport &vals);
 
 // ---------------------------------------------------------------------
 // Combined driver
@@ -245,13 +252,18 @@ struct AnalyzeReport
 {
     RateReport rates;
     DeadlockReport deadlock;
+    /** Value-range lints from the abstract interpreter (absint.hh):
+     * guaranteed int32 overflow, always-empty filter arms, effectful
+     * blocks that provably never receive data. All warnings. */
+    std::vector<Diagnostic> values;
 
     std::vector<Diagnostic> all() const;
     bool hasErrors() const;
     std::string summary() const;
 };
 
-/** Run rate balance + deadlock lint over @p dfg. */
+/** Run rate balance + deadlock lint + value lints over @p dfg; the
+ * abstract-interpretation fixpoint is computed once and shared. */
 AnalyzeReport analyzeGraph(const Dfg &dfg,
                            const sim::MachineConfig &machine = {});
 

@@ -400,9 +400,13 @@ execute(const Dfg &dfg, lang::DramImage &dram,
     }
     stats.linkTokens.resize(dfg.links.size(), 0);
     stats.linkBarriers.resize(dfg.links.size(), 0);
+    stats.linkValues.resize(dfg.links.size());
     const auto &channels = engine.channels();
-    for (size_t i = 0; i < dfg.links.size(); ++i)
+    for (size_t i = 0; i < dfg.links.size(); ++i) {
         stats.linkTokens[i] = channels[i]->totalPushed();
+        stats.linkBarriers[i] = channels[i]->watch().barriersPushed;
+        stats.linkValues[i] = channels[i]->watch();
+    }
     return stats;
 }
 

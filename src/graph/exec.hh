@@ -57,10 +57,18 @@ struct ExecStats
     uint64_t graphNodes = 0;
     uint64_t graphLinks = 0;
     bool drained = false;
-    /** Data tokens that crossed each link (indexed by link id). */
+    /** Tokens that crossed each link (indexed by link id; data and
+     * barriers both count — this is link traffic volume). */
     std::vector<uint64_t> linkTokens;
     /** Barrier tokens per link. */
     std::vector<uint64_t> linkBarriers;
+
+    /** Observed data-word summary per link: concrete evidence for the
+     * abstract interpreter's claims (see dataflow::Channel). A link
+     * the analysis proves bottom must show dataPushed == 0; observed
+     * extremes must lie within the inferred intervals; a proven
+     * constant must observe allEqual with the predicted word. */
+    std::vector<dataflow::Channel::ValueWatch> linkValues;
 };
 
 /**

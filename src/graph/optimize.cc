@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/absint.hh"
 #include "graph/analyze.hh"
 #include "graph/resources.hh"
 #include "lang/type.hh"
@@ -454,6 +455,394 @@ class CopyProp : public GraphPass
         if (rewrites)
             s.compact();
         return rewrites;
+    }
+};
+
+// ---- cross-block constant/copy propagation -----------------------------
+// Consumes the whole-graph value facts of graph/absint.hh: per-link
+// constancy, intervals, and bottom ("provably carries no data tokens,
+// only barriers"). All rewrites below preserve the barrier structure —
+// they splice streams that are provably identical, narrow bundles lane
+// by lane, or strip effects that provably never fire — so they hold
+// under any engine scheduling policy.
+
+class CrossBlockConstProp : public GraphPass
+{
+  public:
+    std::string name() const override { return "cross-block-const-prop"; }
+
+    int
+    run(Dfg &g, const GraphPassOptions &) override
+    {
+        const AbsintReport vals = analyzeValues(g);
+        Surgeon s(g);
+        const std::vector<char> taint = effectTaintedLinks(g, vals);
+        std::vector<int> orphans;
+        int rewrites = 0;
+
+        rewrites += spliceAlwaysKeepFilters(g, s, vals, taint, orphans);
+        rewrites += spliceSingleArmMerges(g, s, vals, taint, orphans);
+        rewrites += inlineConstInputs(g, s, vals, taint, orphans);
+        rewrites += reroutePassThroughLanes(g, s);
+        rewrites += stripUnreachableEffects(g, s, vals);
+
+        while (!orphans.empty()) {
+            int l = orphans.back();
+            orphans.pop_back();
+            int p = g.links[l].src;
+            if (p < 0 || s.nodeDead[p])
+                continue;
+            detachOutput(g, s, p, l, orphans);
+        }
+        if (rewrites)
+            s.compact();
+        return rewrites;
+    }
+
+  private:
+    /**
+     * Links with an effectful transitive ancestor (a block carrying
+     * memory effects, or a park/restore). Memory-effect ordering is
+     * enforced purely by token dependence, so severing such a link —
+     * even one whose *value* is a proven constant — can remove the only
+     * ordering edge between two conflicting effects and let the engine
+     * race them (e.g. the foreach sync tokens that sequence SRAM table
+     * fills before their readers). Reads taint too: an anti-dependency
+     * (read ordered before a later write) is just as scheduling-borne
+     * as a write-write conflict. Only memory-free-cone links may be
+     * cut; lanes that are spliced 1:1 keep their ordering and need no
+     * check.
+     */
+    static bool
+    touchesMemory(const Node &n)
+    {
+        for (const auto &op : n.ops) {
+            switch (op.kind) {
+              case OpKind::sramAlloc:
+              case OpKind::sramRead:
+              case OpKind::sramWrite:
+              case OpKind::rmwAdd:
+              case OpKind::rmwSub:
+              case OpKind::dramRead:
+              case OpKind::dramWrite:
+                return true;
+              default:
+                break;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Links with a memory-touching transitive ancestor that can
+     * actually fire. Memory-op ordering — writes against writes, and
+     * reads against later writes (anti-dependencies) alike — is
+     * enforced purely by token dependence, so severing such a link,
+     * even one whose *value* is a proven constant, can remove the only
+     * ordering edge between two conflicting accesses and let the
+     * engine race them (e.g. the foreach sync tokens that sequence
+     * SRAM table fills before their readers). Blocks with a bottom
+     * input never assemble a bundle, never execute an op, and
+     * therefore never need ordering; they forward taint from their own
+     * ancestors but do not add any. Only clean-cone links may be cut —
+     * lanes that are spliced 1:1 keep their ordering and need no
+     * check.
+     */
+    static std::vector<char>
+    effectTaintedLinks(const Dfg &g, const AbsintReport &vals)
+    {
+        std::vector<char> nodeTaint(g.nodes.size(), 0);
+        std::vector<int> work;
+        for (size_t i = 0; i < g.nodes.size(); ++i) {
+            const Node &n = g.nodes[i];
+            bool t = n.kind == NodeKind::park ||
+                     n.kind == NodeKind::restore;
+            if (n.kind == NodeKind::block && touchesMemory(n)) {
+                bool fires = true;
+                for (int l : n.ins)
+                    fires &= !vals.links[l].bottom;
+                t |= fires || n.ins.empty();
+            }
+            if (t) {
+                nodeTaint[i] = 1;
+                work.push_back(static_cast<int>(i));
+            }
+        }
+        while (!work.empty()) {
+            int i = work.back();
+            work.pop_back();
+            for (int l : g.nodes[i].outs) {
+                int d = g.links[l].dst;
+                if (d >= 0 && !nodeTaint[d]) {
+                    nodeTaint[d] = 1;
+                    work.push_back(d);
+                }
+            }
+        }
+        std::vector<char> linkTaint(g.links.size(), 0);
+        for (size_t l = 0; l < g.links.size(); ++l) {
+            int p = g.links[l].src;
+            linkTaint[l] = p >= 0 && nodeTaint[p];
+        }
+        return linkTaint;
+    }
+
+    /**
+     * A filter whose predicate provably always matches its sense is a
+     * per-lane identity (data all kept, barriers forwarded 1:1): splice
+     * every lane input straight to the lane consumer and orphan the
+     * predicate stream.
+     */
+    static int
+    spliceAlwaysKeepFilters(Dfg &g, Surgeon &s, const AbsintReport &vals,
+                            const std::vector<char> &taint,
+                            std::vector<int> &orphans)
+    {
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::filter || s.nodeDead[i])
+                continue;
+            const AbsVal &pred = vals.links[n.ins[0]];
+            bool keep =
+                n.sense ? pred.excludesZero() : pred.isZero();
+            // The pred stream is severed, so it must carry no memory
+            // ordering; the lanes stay spliced through.
+            if (!keep || taint[n.ins[0]])
+                continue;
+            bool elems_ok = true;
+            for (size_t j = 0; j < n.outs.size(); ++j)
+                elems_ok &= g.links[n.ins[j + 1]].elem ==
+                            g.links[n.outs[j]].elem;
+            if (!elems_ok)
+                continue;
+            for (size_t j = 0; j < n.outs.size(); ++j)
+                spliceLane(g, s, n.ins[j + 1], n.outs[j], orphans);
+            int p0 = n.ins[0];
+            s.linkDead[p0] = 1;
+            orphans.push_back(p0);
+            s.nodeDead[i] = 1;
+            ++rewrites;
+        }
+        return rewrites;
+    }
+
+    /**
+     * A fwdMerge with one arm proven bottom forwards exactly the live
+     * arm's stream: the runtime requires matching barriers on both
+     * arms, so the merged output is the live arm's data plus its own
+     * barrier train. Splice the live arm through and prune the dead
+     * one. (fbMerge is excluded: its drain protocol rewrites barrier
+     * levels.)
+     */
+    static int
+    spliceSingleArmMerges(Dfg &g, Surgeon &s, const AbsintReport &vals,
+                          const std::vector<char> &taint,
+                          std::vector<int> &orphans)
+    {
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::fwdMerge || s.nodeDead[i] ||
+                n.outs.empty()) {
+                continue;
+            }
+            const size_t half = n.outs.size();
+            auto armDead = [&](size_t base) {
+                for (size_t j = 0; j < half; ++j)
+                    if (!vals.links[n.ins[base + j]].bottom)
+                        return false;
+                return true;
+            };
+            bool a_dead = armDead(0);
+            bool b_dead = armDead(half);
+            if (a_dead == b_dead)
+                continue; // both live (nothing provable) or both dead
+            size_t live = a_dead ? half : 0;
+            size_t dead = a_dead ? 0 : half;
+            // The dead arm is severed, so it must carry no memory
+            // ordering (a never-firing arm adds no taint of its own).
+            bool cut_ok = true;
+            for (size_t j = 0; j < half; ++j) {
+                cut_ok &= g.links[n.ins[live + j]].elem ==
+                          g.links[n.outs[j]].elem;
+                cut_ok &= !taint[n.ins[dead + j]];
+            }
+            if (!cut_ok)
+                continue;
+            for (size_t j = 0; j < half; ++j) {
+                spliceLane(g, s, n.ins[live + j], n.outs[j], orphans);
+                int dl = n.ins[dead + j];
+                if (!s.linkDead[dl]) {
+                    s.linkDead[dl] = 1;
+                    orphans.push_back(dl);
+                }
+            }
+            s.nodeDead[i] = 1;
+            ++rewrites;
+        }
+        return rewrites;
+    }
+
+    /**
+     * A block input lane whose link is proven constant becomes a local
+     * cnst op: prepend `cnst reg, value` and drop the lane (keeping at
+     * least one input so the block's firing rate is untouched). The
+     * producer side is orphaned and narrows away.
+     */
+    static int
+    inlineConstInputs(Dfg &g, Surgeon &s, const AbsintReport &vals,
+                      const std::vector<char> &taint,
+                      std::vector<int> &orphans)
+    {
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::block || s.nodeDead[i])
+                continue;
+            for (int idx = static_cast<int>(n.ins.size()) - 1;
+                 idx >= 0 && n.ins.size() > 1; --idx) {
+                int l = n.ins[idx];
+                if (s.linkDead[l])
+                    continue;
+                // A direct source feed stays: the program-entry source
+                // list is conserved, so cutting the lane only grows a
+                // sink without freeing anything upstream.
+                int p = g.links[l].src;
+                if (p >= 0 && g.nodes[p].kind == NodeKind::source)
+                    continue;
+                auto c = vals.constantOf(l);
+                if (!c || taint[l])
+                    continue;
+                int reg = n.inputRegs[idx];
+                n.ins.erase(n.ins.begin() + idx);
+                n.inputRegs.erase(n.inputRegs.begin() + idx);
+                if (reg >= 0) {
+                    BlockOp op;
+                    op.kind = OpKind::cnst;
+                    op.dst = reg;
+                    op.imm = static_cast<Word>(*c);
+                    n.ops.insert(n.ops.begin(), op);
+                }
+                s.linkDead[l] = 1;
+                orphans.push_back(l);
+                ++rewrites;
+            }
+        }
+        return rewrites;
+    }
+
+    /**
+     * A block output lane that is an unguarded mov-chain copy of an
+     * input lane whose producer is a fanout carries exactly the
+     * fanout's stream (same data, same barriers): serve the consumer
+     * from the fanout directly and drop the lane from the block.
+     */
+    static int
+    reroutePassThroughLanes(Dfg &g, Surgeon &s)
+    {
+        int rewrites = 0;
+        const size_t n_nodes = g.nodes.size();
+        for (size_t i = 0; i < n_nodes; ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::block || s.nodeDead[i] ||
+                n.ins.empty()) {
+                continue;
+            }
+            // root[r] = input lane index r is a pure copy of, else -1.
+            std::vector<int> root(static_cast<size_t>(n.nRegs), -1);
+            for (size_t j = 0; j < n.ins.size(); ++j)
+                if (n.inputRegs[j] >= 0)
+                    root[static_cast<size_t>(n.inputRegs[j])] =
+                        static_cast<int>(j);
+            for (const auto &op : n.ops) {
+                if (op.dst < 0)
+                    continue;
+                bool copy = op.kind == OpKind::mov && op.guard < 0 &&
+                            op.a >= 0;
+                root[static_cast<size_t>(op.dst)] =
+                    copy ? root[static_cast<size_t>(op.a)] : -1;
+            }
+            for (int k = static_cast<int>(n.outs.size()) - 1; k >= 0;
+                 --k) {
+                int r = n.outputRegs[k];
+                if (r < 0)
+                    continue;
+                int j = root[static_cast<size_t>(r)];
+                if (j < 0)
+                    continue;
+                int in_l = n.ins[static_cast<size_t>(j)];
+                int out_l = n.outs[static_cast<size_t>(k)];
+                if (s.linkDead[in_l] || s.linkDead[out_l])
+                    continue;
+                int p = g.links[in_l].src;
+                if (p < 0 || s.nodeDead[p] ||
+                    g.nodes[p].kind != NodeKind::fanout ||
+                    g.nodes[p].replicateRegion != n.replicateRegion ||
+                    g.links[in_l].elem != g.links[out_l].elem) {
+                    continue;
+                }
+                g.nodes[p].outs.push_back(out_l);
+                g.links[out_l].src = p;
+                n.outs.erase(n.outs.begin() + k);
+                n.outputRegs.erase(n.outputRegs.begin() + k);
+                ++rewrites;
+            }
+        }
+        return rewrites;
+    }
+
+    /**
+     * A block with a bottom input never assembles a data bundle, so
+     * its memory effects can never fire: strip them (under the
+     * dropEffects validation permission) so dead-node elimination can
+     * collapse the statically-dead region around it.
+     */
+    static int
+    stripUnreachableEffects(Dfg &g, Surgeon &s, const AbsintReport &vals)
+    {
+        int rewrites = 0;
+        for (size_t i = 0; i < g.nodes.size(); ++i) {
+            Node &n = g.nodes[i];
+            if (n.kind != NodeKind::block || s.nodeDead[i] ||
+                n.ins.empty() || !blockHasEffects(n)) {
+                continue;
+            }
+            bool dead_in = false;
+            for (int l : n.ins)
+                if (static_cast<size_t>(l) < vals.links.size())
+                    dead_in |= vals.links[l].bottom;
+            if (!dead_in)
+                continue;
+            auto dropped = std::remove_if(
+                n.ops.begin(), n.ops.end(),
+                [](const BlockOp &op) { return isEffectOp(op.kind); });
+            n.ops.erase(dropped, n.ops.end());
+            ++rewrites;
+        }
+        return rewrites;
+    }
+
+    /** Reroute out_l's consumer to read in_l directly. */
+    static void
+    spliceLane(Dfg &g, Surgeon &s, int in_l, int out_l,
+               std::vector<int> &orphans)
+    {
+        if (s.linkDead[out_l]) {
+            // The consumer already went away: the input is an orphan.
+            if (!s.linkDead[in_l]) {
+                s.linkDead[in_l] = 1;
+                orphans.push_back(in_l);
+            }
+            return;
+        }
+        int c = g.links[out_l].dst;
+        g.nodes[c].ins[indexOf(g.nodes[c].ins, out_l)] = in_l;
+        g.links[in_l].dst = c;
+        s.linkDead[out_l] = 1;
     }
 };
 
@@ -1436,12 +1825,22 @@ class SubwordPack : public GraphPass
     {
         int rewrites = 0;
         const size_t n_nodes = g.nodes.size();
+        bool any_merge = false;
+        for (size_t i = 0; i < n_nodes; ++i)
+            any_merge |= g.nodes[i].kind == NodeKind::fwdMerge ||
+                         g.nodes[i].kind == NodeKind::fbMerge;
+        if (!any_merge)
+            return 0;
+        // Value analysis widens type-based narrowness: an i32/u32 lane
+        // whose interval provably fits a narrow canonical range packs
+        // exactly like a type-narrow lane.
+        const AbsintReport vals = analyzeValues(g);
         for (size_t i = 0; i < n_nodes; ++i) {
             if (g.nodes[i].kind != NodeKind::fwdMerge &&
                 g.nodes[i].kind != NodeKind::fbMerge) {
                 continue;
             }
-            rewrites += packMerge(g, static_cast<int>(i));
+            rewrites += packMerge(g, static_cast<int>(i), vals);
         }
         return rewrites;
     }
@@ -1450,28 +1849,67 @@ class SubwordPack : public GraphPass
     struct Group
     {
         std::vector<int> lanes;
+        std::vector<Scalar> effs; ///< effective (possibly virtual) elems
         int bits = 0;
+        bool widthDerived = false; ///< any lane narrowed by range facts
     };
 
     static int
-    packMerge(Dfg &g, int mi)
+    packMerge(Dfg &g, int mi, const AbsintReport &vals)
     {
         const int half = static_cast<int>(g.nodes[mi].outs.size());
 
         // Narrow lanes whose element type agrees across both input
-        // bundles and the output (packing relies on the link-value
-        // normalization invariant, which is stated per element type).
+        // bundles and the output. Type-narrow lanes (packing relies on
+        // the link-value normalization invariant, stated per element
+        // type) keep their element; full-width lanes get a virtual
+        // narrow element when the interval analysis proves both arms
+        // fit one (the merged output is a subset of the arms' union).
         std::vector<int> narrow;
+        std::vector<Scalar> eff(static_cast<size_t>(half),
+                                Scalar::invalid);
+        std::vector<char> derived(static_cast<size_t>(half), 0);
+        // A sound interval that escapes a clamp proves the lane is
+        // carrying raw words wider than its declared element.
+        auto fits = [](const AbsVal &u, const AbsVal &c) {
+            return u.bottom ||
+                   (u.smin >= c.smin && u.smax <= c.smax &&
+                    u.umin >= c.umin && u.umax <= c.umax);
+        };
         for (int j = 0; j < half; ++j) {
             const Node &m = g.nodes[mi];
             Scalar e = g.links[m.outs[j]].elem;
-            int w = lang::bitWidth(e);
-            if (w <= 0 || w >= 32)
-                continue;
             if (g.links[m.ins[j]].elem != e ||
                 g.links[m.ins[j + half]].elem != e) {
                 continue;
             }
+            int w = lang::bitWidth(e);
+            if (w > 0 && w < 32) {
+                // Distrust the type when the value analysis disagrees:
+                // some lanes ride a narrow-typed link with raw words
+                // that are never normalized (an SRAM handle inheriting
+                // the buffer's char element, e.g.) — masking those
+                // corrupts them. Only pack a type-narrow lane whose
+                // inferred range actually fits the type's range.
+                AbsVal u = joinVal(vals.links[m.ins[j]],
+                                   vals.links[m.ins[j + half]]);
+                if (!fits(u, typeClamp(e)))
+                    continue;
+                eff[j] = e;
+                narrow.push_back(j);
+                continue;
+            }
+            if (w < 32)
+                continue;
+            AbsVal u = joinVal(vals.links[m.ins[j]],
+                               vals.links[m.ins[j + half]]);
+            if (u.bottom)
+                continue;
+            auto pe = packElem(u);
+            if (!pe)
+                continue;
+            eff[j] = *pe;
+            derived[j] = 1;
             narrow.push_back(j);
         }
         if (narrow.size() < 2)
@@ -1480,18 +1918,21 @@ class SubwordPack : public GraphPass
         // First-fit the narrow lanes into shared 32-bit lanes.
         std::vector<Group> groups;
         for (int j : narrow) {
-            int w = lang::bitWidth(g.links[g.nodes[mi].outs[j]].elem);
+            int w = lang::bitWidth(eff[j]);
             bool placed = false;
             for (auto &grp : groups) {
                 if (grp.bits + w <= 32) {
                     grp.lanes.push_back(j);
+                    grp.effs.push_back(eff[j]);
                     grp.bits += w;
+                    grp.widthDerived |= derived[j] != 0;
                     placed = true;
                     break;
                 }
             }
             if (!placed)
-                groups.push_back(Group{{j}, w});
+                groups.push_back(
+                    Group{{j}, {eff[j]}, w, derived[j] != 0});
         }
         groups.erase(std::remove_if(groups.begin(), groups.end(),
                                     [](const Group &grp) {
@@ -1512,9 +1953,14 @@ class SubwordPack : public GraphPass
                 ins_b.push_back(g.nodes[mi].ins[j + half]);
                 outs.push_back(g.nodes[mi].outs[j]);
             }
-            pa.push_back(makePackBlock(g, mi, ins_a, "pack.a"));
-            pb.push_back(makePackBlock(g, mi, ins_b, "pack.b"));
-            po.push_back(makeUnpackBlock(g, mi, outs));
+            // "dpack" marks diamonds packed by range inference (the
+            // bench gate counts them); "pack" stays type-driven.
+            const char *pre = grp.widthDerived ? "dpack" : "pack";
+            pa.push_back(makePackBlock(g, mi, ins_a, grp.effs,
+                                       std::string(pre) + ".a"));
+            pb.push_back(makePackBlock(g, mi, ins_b, grp.effs,
+                                       std::string(pre) + ".b"));
+            po.push_back(makeUnpackBlock(g, mi, outs, grp.effs));
         }
 
         // Rebuild the merge bundles: surviving lanes keep their order,
@@ -1537,10 +1983,14 @@ class SubwordPack : public GraphPass
         return static_cast<int>(groups.size());
     }
 
-    /** Block computing the shared lane: acc |= (v_j & mask) << off. */
+    /** Block computing the shared lane: acc |= (v_j & mask) << off.
+     * Widths come from the effective elems (virtual for range-narrow
+     * i32 lanes); the masked bits round-trip through the unpack
+     * block's norm because every value fits the effective type's
+     * canonical range. */
     static int
     makePackBlock(Dfg &g, int mi, const std::vector<int> &in_links,
-                  const std::string &name)
+                  const std::vector<Scalar> &effs, const std::string &name)
     {
         Node &blk = g.newNode(NodeKind::block, name);
         annotateLike(g, blk, mi);
@@ -1548,7 +1998,7 @@ class SubwordPack : public GraphPass
         int acc = -1, off = 0;
         for (size_t j = 0; j < in_links.size(); ++j) {
             int l = in_links[j];
-            int w = lang::bitWidth(g.links[l].elem);
+            int w = lang::bitWidth(effs[j]);
             int in = static_cast<int>(blk.nRegs++);
             blk.inputRegs.push_back(in);
             g.links[l].dst = bi;
@@ -1586,7 +2036,8 @@ class SubwordPack : public GraphPass
     /** Unpack block: each original output link j reads
      * norm_elem(acc >> off_j); returns the packed link feeding it. */
     static int
-    makeUnpackBlock(Dfg &g, int mi, const std::vector<int> &out_links)
+    makeUnpackBlock(Dfg &g, int mi, const std::vector<int> &out_links,
+                    const std::vector<Scalar> &effs)
     {
         Node &blk = g.newNode(NodeKind::block, "unpack");
         annotateLike(g, blk, mi);
@@ -1594,8 +2045,9 @@ class SubwordPack : public GraphPass
         int in = blk.nRegs++;
         blk.inputRegs.push_back(in);
         int off = 0;
-        for (int l : out_links) {
-            Scalar elem = g.links[l].elem;
+        for (size_t k = 0; k < out_links.size(); ++k) {
+            int l = out_links[k];
+            Scalar elem = effs[k];
             int w = lang::bitWidth(elem);
             int shifted = in;
             if (off > 0) {
@@ -1656,6 +2108,12 @@ makeConstFoldPass()
 }
 
 std::unique_ptr<GraphPass>
+makeCrossBlockConstPropPass()
+{
+    return std::make_unique<CrossBlockConstProp>();
+}
+
+std::unique_ptr<GraphPass>
 makeCopyPropPass()
 {
     return std::make_unique<CopyProp>();
@@ -1697,6 +2155,11 @@ makeDefaultPasses(const GraphPassOptions &opts)
     std::vector<std::unique_ptr<GraphPass>> out;
     if (opts.constFold)
         out.push_back(makeConstFoldPass());
+    // Cross-block propagation right after in-block folding: folded
+    // cnst outputs become whole-graph facts, and the cnst wiring it
+    // injects is folded/fused by the passes behind it next iteration.
+    if (opts.crossBlockConstProp)
+        out.push_back(makeCrossBlockConstPropPass());
     if (opts.copyProp)
         out.push_back(makeCopyPropPass());
     if (opts.fanoutCoalesce)

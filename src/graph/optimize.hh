@@ -13,6 +13,13 @@
  * The initial suite:
  *  - constFold: in-block constant folding, algebraic identities,
  *    copy/alias forwarding, and dead-op elimination;
+ *  - crossBlockConstProp: graph-level constant/copy propagation on
+ *    the abstract-interpretation facts of graph/absint.hh — constants
+ *    cross block boundaries as local cnst ops, always-keep filters
+ *    and single-live-arm merges are spliced away, pass-through output
+ *    lanes are rerouted onto the producing fanout, and provably
+ *    unreachable memory effects are stripped so dead-node elimination
+ *    can collapse the statically-dead arm;
  *  - copyProp: eliminate single-input mov-only (wiring) blocks — a
  *    pure splice or a fanout, never touching multi-input alignment
  *    blocks (those order memory effects, e.g. the foreach sync block);
@@ -70,6 +77,14 @@ struct GraphPassOptions
 {
     bool enable = true; ///< master switch (off: lowered graph untouched)
     bool constFold = true;
+    /** Cross-block constant/copy propagation driven by the abstract
+     * interpreter (graph/absint.hh): replaces proven-constant input
+     * links with local cnst wiring, splices always-keep filters and
+     * merges with a provably-dead arm, reroutes pass-through output
+     * lanes onto the producing fanout, and strips memory effects from
+     * blocks that provably never receive data (needs the dropEffects
+     * validation permission). */
+    bool crossBlockConstProp = true;
     bool copyProp = true;
     bool fanoutCoalesce = true;
     bool blockFusion = true;
@@ -126,6 +141,7 @@ struct GraphOptReport
 
 /** Individual pass factories (used by the per-pass test matrix). */
 std::unique_ptr<GraphPass> makeConstFoldPass();
+std::unique_ptr<GraphPass> makeCrossBlockConstPropPass();
 std::unique_ptr<GraphPass> makeCopyPropPass();
 std::unique_ptr<GraphPass> makeFanoutCoalescePass();
 std::unique_ptr<GraphPass> makeBlockFusionPass();

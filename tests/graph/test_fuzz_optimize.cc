@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/absint.hh"
 #include "graph/dfg.hh"
 #include "graph/exec.hh"
 #include "graph/optimize.hh"
@@ -868,6 +869,7 @@ passConfig(const std::string &which)
     if (which == "full")
         return o;
     o.constFold = which == "const-fold";
+    o.crossBlockConstProp = which == "cross-block-const-prop";
     o.copyProp = which == "copy-prop";
     o.fanoutCoalesce = which == "fanout-coalesce";
     o.blockFusion = which == "block-fusion";
@@ -879,7 +881,8 @@ passConfig(const std::string &which)
 
 std::vector<std::vector<uint8_t>>
 runGraph(const Dfg &g, int scratchElems, int outElems, uint32_t seed,
-         dataflow::Engine::Policy policy)
+         dataflow::Engine::Policy policy,
+         graph::ExecStats *statsOut = nullptr)
 {
     DramImage dram(dramProgram());
     std::vector<int32_t> input(kInElems);
@@ -891,10 +894,58 @@ runGraph(const Dfg &g, int scratchElems, int outElems, uint32_t seed,
     dram.resize("out", static_cast<size_t>(outElems) * 4);
     auto stats = graph::execute(g, dram, {}, 1u << 24, policy);
     EXPECT_TRUE(stats.drained);
+    if (statsOut)
+        *statsOut = stats;
     std::vector<std::vector<uint8_t>> out;
     for (int d = 0; d < dram.dramCount(); ++d)
         out.push_back(dram.bytes(d));
     return out;
+}
+
+/**
+ * Abstract-interpretation soundness oracle: every concretely observed
+ * link value must be admitted by the inferred abstract value. This
+ * catches unsound transfer functions directly, not just the subset
+ * that happens to miscompile something downstream.
+ */
+std::string
+checkValueSoundness(const Dfg &g, const graph::ExecStats &stats,
+                    const std::string &which)
+{
+    const graph::AbsintReport rep = graph::analyzeValues(g);
+    for (size_t l = 0; l < g.links.size(); ++l) {
+        const auto &w = stats.linkValues[l];
+        if (w.dataPushed == 0)
+            continue; // nothing observed: any claim is vacuous
+        const graph::AbsVal &v = rep.links[l];
+        const std::string at =
+            which + " graph link " + std::to_string(l) + " (" +
+            g.links[l].name + "): ";
+        if (v.bottom) {
+            return at + "proven bottom but carried " +
+                std::to_string(w.dataPushed) + " data tokens";
+        }
+        if (w.smin < v.smin || w.smax > v.smax) {
+            return at + "observed signed [" + std::to_string(w.smin) +
+                "," + std::to_string(w.smax) + "] outside inferred [" +
+                std::to_string(v.smin) + "," + std::to_string(v.smax) +
+                "]";
+        }
+        if (w.umin < v.umin || w.umax > v.umax) {
+            return at + "observed unsigned [" + std::to_string(w.umin) +
+                "," + std::to_string(w.umax) + "] outside inferred [" +
+                std::to_string(v.umin) + "," + std::to_string(v.umax) +
+                "]";
+        }
+        if (auto c = rep.constantOf(static_cast<int>(l))) {
+            if (!w.allEqual ||
+                w.first != static_cast<sltf::Word>(*c)) {
+                return at + "proven constant " + std::to_string(*c) +
+                    " but observed varying/different values";
+            }
+        }
+    }
+    return "";
 }
 
 /** One differential run; returns an empty string on success, else a
@@ -910,12 +961,24 @@ diffOnce(uint32_t seed, int stages, const GraphPassOptions &gopts)
     } catch (const std::exception &err) {
         return std::string("optimizer/verify threw: ") + err.what();
     }
+    bool oracle_done = false;
     for (auto policy : {dataflow::Engine::Policy::roundRobin,
                         dataflow::Engine::Policy::worklist}) {
+        graph::ExecStats sa, sb;
         auto a = runGraph(gen.graph, gen.scratchElems, gen.outElems,
-                          seed, policy);
+                          seed, policy, &sa);
         auto b = runGraph(optimized, gen.scratchElems, gen.outElems,
-                          seed, policy);
+                          seed, policy, &sb);
+        if (!oracle_done) {
+            // Per-link value sets are policy-independent; one policy's
+            // observations are enough evidence per graph.
+            oracle_done = true;
+            std::string v = checkValueSoundness(gen.graph, sa, "raw");
+            if (v.empty())
+                v = checkValueSoundness(optimized, sb, "optimized");
+            if (!v.empty())
+                return "absint oracle: " + v;
+        }
         for (size_t d = 0; d < a.size(); ++d) {
             if (a[d] != b[d]) {
                 return "DRAM region " + std::to_string(d) +

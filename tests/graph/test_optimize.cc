@@ -45,6 +45,7 @@ passConfig(const std::string &which)
     if (which == "full")
         return o;
     o.constFold = which == "const-fold";
+    o.crossBlockConstProp = which == "cross-block-const-prop";
     o.copyProp = which == "copy-prop";
     o.fanoutCoalesce = which == "fanout-coalesce";
     o.blockFusion = which == "block-fusion";
@@ -55,9 +56,9 @@ passConfig(const std::string &which)
 }
 
 const std::vector<std::string> kPassConfigs = {
-    "const-fold",   "copy-prop",      "fanout-coalesce",
-    "block-fusion", "dead-node-elim", "replicate-bufferize",
-    "subword-pack", "full"};
+    "const-fold",   "cross-block-const-prop", "copy-prop",
+    "fanout-coalesce", "block-fusion", "dead-node-elim",
+    "replicate-bufferize", "subword-pack", "full"};
 
 using Generate = std::function<std::vector<int32_t>(DramImage &)>;
 
@@ -1427,7 +1428,12 @@ TEST(GraphOptStructure, OrdinalLaneCountedInBundleWidth)
     CompileOptions off;
     off.graphOpt.enable = false;
     auto raw = CompiledProgram::compile(kReorderReplicateSrc, off);
-    auto opt = CompiledProgram::compile(kReorderReplicateSrc);
+    // Cross-block constant propagation would fold the constant token
+    // ride away before bufferize ever sees it; pin it off so all four
+    // rides reach the park rewrite this fixture is about.
+    CompileOptions on;
+    on.graphOpt.crossBlockConstProp = false;
+    auto opt = CompiledProgram::compile(kReorderReplicateSrc, on);
 
     int wraw = fbMergeWidth(raw.dfg());
     int wopt = fbMergeWidth(opt.dfg());
@@ -1471,7 +1477,11 @@ TEST(GraphOptStructure, RewrittenReorderingRegionIsIdempotent)
 TEST(GraphOptStructure, NarrowMergeLanesPackIntoSharedLane)
 {
     // Two i8 lanes and one i16 lane (32 bits total) pack into one
-    // shared lane; the i32 lane is left alone.
+    // shared lane; the i32 lane is left alone. Each narrow output is
+    // normalized by its producer — the link-value invariant packing
+    // relies on, and what the value analysis must see to trust the
+    // narrow type (raw un-normalized words on a narrow link, e.g. an
+    // SRAM handle, refuse to pack).
     Dfg g;
     const Scalar elems[] = {Scalar::i8, Scalar::i8, Scalar::i16,
                             Scalar::i32};
@@ -1483,10 +1493,20 @@ TEST(GraphOptStructure, NarrowMergeLanesPackIntoSharedLane)
         auto &blk = g.newNode(NodeKind::block, side ? "b" : "a");
         g.connectIn(blk.id, tok);
         blk.inputRegs = {0};
-        blk.nRegs = 1;
-        for (Scalar e : elems) {
-            int l = g.newLink("v", e);
-            blk.outputRegs.push_back(0);
+        blk.nRegs = 3;
+        BlockOp n8;
+        n8.kind = OpKind::norm;
+        n8.dst = 1;
+        n8.a = 0;
+        n8.elem = Scalar::i8;
+        BlockOp n16 = n8;
+        n16.dst = 2;
+        n16.elem = Scalar::i16;
+        blk.ops = {n8, n16};
+        const int out_regs[] = {1, 1, 2, 0};
+        for (int j = 0; j < 4; ++j) {
+            int l = g.newLink("v", elems[j]);
+            blk.outputRegs.push_back(out_regs[j]);
             g.connectOut(blk.id, l);
             (side ? ins_b : ins_a).push_back(l);
         }
