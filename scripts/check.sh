@@ -153,6 +153,15 @@ if [[ "$sanitize" != OFF ]]; then
     REVET_FUZZ_SEED="${REVET_FUZZ_SEED:-20260730}" \
         "$build_dir/tests/revet_test_fuzz"
     if [[ "$sanitize" == thread ]]; then
+        # The parallel work-stealing scheduler is the reason the TSan
+        # preset exists: re-run the scheduler suite (tri-policy matrix +
+        # ParallelScheduler section) and the fuzz differential with the
+        # parallel policy forced onto several workers so every Channel
+        # push/pop, steal, and quiescence handshake runs instrumented
+        # even on single-core hosts.
+        echo "== parallel scheduler suite (TSan, 4 workers)"
+        REVET_NUM_THREADS=4 "$build_dir/tests/revet_test_dataflow" \
+            --gtest_filter='*Scheduler*:*Backpressure*:*Parallel*'
         echo "== check.sh: all green (TSan)"
     else
         echo "== check.sh: all green (ASan+UBSan)"

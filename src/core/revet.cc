@@ -29,10 +29,12 @@ CompiledProgram::interpret(lang::DramImage &dram,
 graph::ExecStats
 CompiledProgram::execute(lang::DramImage &dram,
                          const std::vector<int32_t> &args,
-                         dataflow::Engine::Policy policy) const
+                         dataflow::Engine::Policy policy,
+                         int num_threads) const
 {
     return graph::execute(dfg_, dram, args,
-                          dataflow::Engine::defaultMaxRounds, policy);
+                          dataflow::Engine::defaultMaxRounds, policy,
+                          num_threads);
 }
 
 } // namespace revet

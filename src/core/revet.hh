@@ -71,11 +71,14 @@ class CompiledProgram
 
     /** Run the compiled dataflow graph functionally. The scheduling
      * policy is observable only through stats/perf counters, never
-     * through results (see dataflow/engine.hh). */
+     * through results (see dataflow/engine.hh). @p num_threads selects
+     * the worker count for Policy::parallel (0 defers to
+     * Engine::defaultNumThreads(); ignored by serial policies). */
     graph::ExecStats execute(lang::DramImage &dram,
                              const std::vector<int32_t> &args,
                              dataflow::Engine::Policy policy =
-                                 dataflow::Engine::Policy::worklist) const;
+                                 dataflow::Engine::Policy::worklist,
+                             int num_threads = 0) const;
 
   private:
     CompiledProgram() = default;

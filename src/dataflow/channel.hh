@@ -17,6 +17,24 @@
  * emptiness, and free capacity, so these two edges are exactly the
  * events that can turn a blocked process runnable.
  *
+ * Concurrency contract (Engine::Policy::parallel): every channel has at
+ * most one producer and one consumer process, and the engine never runs
+ * the same process on two workers at once, so each end of a channel is
+ * single-threaded. The FIFO itself is guarded by a per-channel spinlock
+ * (critical sections are a handful of pointer moves; a ring buffer was
+ * rejected because the functional semantics need unbounded channels),
+ * and the element count is mirrored in a seq_cst atomic so the
+ * lock-free predicates empty()/size()/canPush() are exact snapshots.
+ * The predicates are *monotone-safe* per endpoint: only the consumer
+ * pops, so a non-empty observation by the consumer stays true until it
+ * acts on it; only the producer pushes, so free capacity observed by
+ * the producer cannot shrink. front() takes the lock for the access but
+ * may safely return a reference: std::deque never invalidates element
+ * references on push_back, and only the (calling) consumer erases.
+ * Mutating configuration (setCapacity, bindEngine, setProducer/
+ * setConsumer) and the read-back accessors (totalPushed, watch, drain)
+ * are setup/post-run-only: they must not race with an active run.
+ *
  * A Bundle is a set of channels that move one thread's live values
  * together: primitives that reorder threads (merges, filters) operate on
  * whole bundles so live values never separate from their thread.
@@ -25,10 +43,12 @@
 #ifndef REVET_DATAFLOW_CHANNEL_HH
 #define REVET_DATAFLOW_CHANNEL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sltf/token.hh"
@@ -45,6 +65,36 @@ using sltf::Word;
 class Engine;
 class Process;
 
+/**
+ * Minimal test-and-set spinlock (BasicLockable, usable with
+ * std::lock_guard). Chosen over std::mutex for the per-channel and
+ * per-deque hot paths: critical sections are a few pointer moves, the
+ * uncontended cost is one acquire CAS, and acquire/release on the flag
+ * gives ThreadSanitizer an exact happens-before edge to verify. Spins
+ * yield after a short burst so a preempted holder on an oversubscribed
+ * host cannot starve the waiter.
+ */
+class SpinLock
+{
+  public:
+    void
+    lock()
+    {
+        int spins = 0;
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            if (++spins >= 64) {
+                spins = 0;
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    void unlock() { flag_.clear(std::memory_order_release); }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
 /** One on-chip link: a FIFO of SLTF tokens with optional capacity. */
 class Channel
 {
@@ -58,12 +108,23 @@ class Channel
 
     const std::string &name() const { return name_; }
 
-    bool empty() const { return fifo_.empty(); }
-    size_t size() const { return fifo_.size(); }
+    // The atomic mirror of fifo_.size() makes these predicates exact,
+    // lock-free snapshots; see the file comment for why each endpoint
+    // may act on them without holding the lock. seq_cst (not acquire)
+    // so they participate in the scheduler's single total order with
+    // the per-process notification latch — the property that makes a
+    // missed parallel wakeup impossible rather than merely unlikely.
+    bool empty() const { return size_.load(std::memory_order_seq_cst) == 0; }
+    size_t size() const { return size_.load(std::memory_order_seq_cst); }
     size_t capacity() const { return capacity_; }
+    /** Setup-only: must not race with an active run. */
     void setCapacity(size_t capacity) { capacity_ = capacity; }
 
-    bool canPush() const { return fifo_.size() < capacity_; }
+    bool
+    canPush() const
+    {
+        return size_.load(std::memory_order_seq_cst) < capacity_;
+    }
 
     /**
      * Append @p tok. @throws std::runtime_error when the channel is
@@ -79,7 +140,10 @@ class Channel
             push(tok);
     }
 
-    const Token &front() const { return fifo_.front(); }
+    /** Head token; consumer-side only (the reference stays valid while
+     * the producer appends — deque references are push-stable — and
+     * only the caller pops). Undefined on an empty channel, as before. */
+    const Token &front() const;
 
     /**
      * Remove and return the head token.
@@ -87,13 +151,15 @@ class Channel
      */
     Token pop();
 
-    /** Lifetime token count, for stats and link-bandwidth analysis. */
+    /** Lifetime token count, for stats and link-bandwidth analysis.
+     * Read-back is post-run-only. */
     uint64_t totalPushed() const { return total_pushed_; }
 
     /** Observed data-word summary over the channel's lifetime: the
      * concrete-execution side of the abstract-interpretation soundness
      * oracle (graph/absint.hh). Extremes are meaningless until the
-     * first data token (dataPushed() == 0). */
+     * first data token (dataPushed() == 0). Read-back is
+     * post-run-only. */
     struct ValueWatch
     {
         uint64_t dataPushed = 0;
@@ -108,14 +174,8 @@ class Channel
 
     const ValueWatch &watch() const { return watch_; }
 
-    /** Drain the remaining contents into a TokenStream. */
-    TokenStream
-    drain()
-    {
-        TokenStream out(fifo_.begin(), fifo_.end());
-        fifo_.clear();
-        return out;
-    }
+    /** Drain the remaining contents into a TokenStream (post-run). */
+    TokenStream drain();
 
     /** The process that pushes into this channel (may be null). */
     Process *producer() const { return producer_; }
@@ -130,7 +190,9 @@ class Channel
   private:
     std::string name_;
     size_t capacity_;
+    mutable SpinLock mu_;     ///< guards fifo_, total_pushed_, watch_
     std::deque<Token> fifo_;
+    std::atomic<size_t> size_{0}; ///< mirrors fifo_.size()
     uint64_t total_pushed_ = 0;
     ValueWatch watch_;
     Engine *engine_ = nullptr;

@@ -349,19 +349,24 @@ Filter::stepOnce()
 bool
 ForwardMerge::stepOnce()
 {
-    for (Bundle *side : {&a_, &b_}) {
-        if (allHaveToken(*side) && bundleHeadKind(*side) == 0) {
-            if (!allCanPush(outs_))
-                return false;
-            pushBundle(outs_, popBundle(*side));
-            return true;
-        }
+    // Snapshot each side's head exactly once (-1 = no token yet).
+    // Under Policy::parallel a producer can push mid-step, so a head
+    // observed absent must stay absent for the rest of this decision:
+    // re-reading it could see freshly arrived data where the barrier
+    // fall-through expects a barrier and throw a spurious mismatch.
+    // The late token is next step's work — its push notification
+    // re-queues this process.
+    const int ka = allHaveToken(a_) ? bundleHeadKind(a_) : -1;
+    const int kb = allHaveToken(b_) ? bundleHeadKind(b_) : -1;
+    if (ka == 0 || kb == 0) {
+        if (!allCanPush(outs_))
+            return false;
+        pushBundle(outs_, popBundle(ka == 0 ? a_ : b_));
+        return true;
     }
     // No data at either head: both must present the matching barrier.
-    if (!allHaveToken(a_) || !allHaveToken(b_))
+    if (ka < 0 || kb < 0)
         return false;
-    int ka = bundleHeadKind(a_);
-    int kb = bundleHeadKind(b_);
     if (ka != kb) {
         throw std::runtime_error(name() + ": branch barrier mismatch B" +
                                  std::to_string(ka) + " vs B" +
@@ -376,24 +381,24 @@ ForwardMerge::stepOnce()
 }
 
 bool
-FwdBackMerge::tryConsumeEcho()
+FwdBackMerge::stepOnce()
 {
-    if (pending_echoes_.empty() || !allHaveToken(back_))
-        return false;
-    int kind = bundleHeadKind(back_);
-    if (kind == pending_echoes_.front()) {
+    // Snapshot the backedge head exactly once for the whole step
+    // (-1 = no token yet): a recirculating token can arrive mid-step
+    // under Policy::parallel, and the echo check, the flow-mode sanity
+    // check, and the drain below all branch on this one observation
+    // (see the negative-observation corollary in primitives.hh). An
+    // echo that arrives after the snapshot is next step's work.
+    const int bk = allHaveToken(back_) ? bundleHeadKind(back_) : -1;
+
+    // The released flush's barrier recirculates through the body as an
+    // echo; swallow it wherever it surfaces.
+    if (bk > 0 && !pending_echoes_.empty() &&
+        bk == pending_echoes_.front()) {
         popBundle(back_);
         pending_echoes_.pop_front();
         return true;
     }
-    return false;
-}
-
-bool
-FwdBackMerge::stepOnce()
-{
-    if (tryConsumeEcho())
-        return true;
 
     if (mode_ == Mode::flow) {
         // Only the forward input flows before the flush. Recirculating
@@ -407,17 +412,13 @@ FwdBackMerge::stepOnce()
         // validation. Revisit when channels model finite loop buffers.
         //
         // The only legitimate backedge barrier outside a flush is the
-        // pending echo (tryConsumeEcho above swallows it when it is at
-        // the head); anything else means a miswired loop, and waiting
-        // for the drain would silently misread it as a batch limit.
-        if (allHaveToken(back_)) {
-            int bk = bundleHeadKind(back_);
-            if (bk != 0 && (pending_echoes_.empty() ||
-                            bk != pending_echoes_.front())) {
-                throw std::runtime_error(
-                    name() + ": unexpected backedge barrier B" +
-                    std::to_string(bk) + " outside a flush");
-            }
+        // pending echo (swallowed above when it is at the head);
+        // anything else means a miswired loop, and waiting for the
+        // drain would silently misread it as a batch limit.
+        if (bk > 0) {
+            throw std::runtime_error(
+                name() + ": unexpected backedge barrier B" +
+                std::to_string(bk) + " outside a flush");
         }
         if (!allHaveToken(fwd_) || !allCanPush(outs_))
             return false;
@@ -437,20 +438,19 @@ FwdBackMerge::stepOnce()
     }
 
     // Mode::drain: the forward input is stalled; iterate the body dry.
-    if (!allHaveToken(back_))
+    if (bk < 0)
         return false;
-    int kind = bundleHeadKind(back_);
-    if (kind == 0) {
+    if (bk == 0) {
         if (!allCanPush(outs_))
             return false;
         pushBundle(outs_, popBundle(back_));
         back_data_since_barrier_ = true;
         return true;
     }
-    if (kind != 1) {
+    if (bk != 1) {
         throw std::runtime_error(name() +
                                  ": backedge barrier B" +
-                                 std::to_string(kind) +
+                                 std::to_string(bk) +
                                  " during drain (expected B1)");
     }
     if (!allCanPush(outs_))

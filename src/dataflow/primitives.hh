@@ -19,6 +19,26 @@
  * wire channel back-references for the worklist scheduler, and the base
  * class uses it for generic stall diagnostics: a blocked primitive can
  * say which inputs it is starved on and which outputs are full.
+ *
+ * Concurrency contract (Engine::Policy::parallel): the engine never
+ * runs one Process on two workers at once, so primitive internal state
+ * needs no synchronization. A primitive's channels may be operated on
+ * by its peer endpoint concurrently, but every guard a primitive uses
+ * is stable in the direction it matters — !empty() observed by the
+ * consumer can only stay true (the producer only adds), canPush()
+ * observed by the producer can only stay true (the consumer only
+ * frees) — so a passing guard never invalidates before the guarded
+ * pop/push. The converse races (a guard failing just as the peer makes
+ * it passable) are exactly the readiness notifications the scheduler
+ * delivers. See channel.hh for the full memory-ordering contract.
+ *
+ * Corollary: a *negative* observation (head absent) is NOT stable — a
+ * producer may push mid-step. A stepOnce() that branches on "no token
+ * there" must snapshot each head at most once and act only on the
+ * snapshot; re-reading can see a different world than the branch was
+ * chosen on (ForwardMerge's barrier fall-through is the canonical
+ * case). A token that arrives mid-step is next step's work — its push
+ * notification re-queues the process.
  */
 
 #ifndef REVET_DATAFLOW_PRIMITIVES_HH
@@ -109,7 +129,8 @@ class Process
     std::string name_;
     std::vector<Channel *> io_ins_;
     std::vector<Channel *> io_outs_;
-    /** Index into the owning engine's scheduler bitmap. */
+    /** Index into the owning engine's scheduler tables (the worklist
+     * bitmap, or the parallel per-process state/latch arrays). */
     size_t sched_id_ = static_cast<size_t>(-1);
 };
 
@@ -406,8 +427,6 @@ class FwdBackMerge : public Process
 
   private:
     enum class Mode { flow, drain };
-
-    bool tryConsumeEcho();
 
     Bundle fwd_;
     Bundle back_;

@@ -1,6 +1,7 @@
 #include "graph/exec.hh"
 
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -21,12 +22,28 @@ namespace
 {
 
 /** Shared mutable memory state: DRAM image + dynamically allocated SRAM
- * buffers (the MU allocator pool, unbounded in functional mode). */
+ * buffers (the MU allocator pool, unbounded in functional mode).
+ *
+ * Unlike channels (single producer/consumer each), this state is shared
+ * by every block process, so under Engine::Policy::parallel each access
+ * runs under `mu` — callers lock, the methods stay lock-free so a
+ * locked caller can compose them (alloc inside evalOp's section). The
+ * serialization does not perturb results: every DRAM/SRAM cell has a
+ * single writer per program point in well-formed Revet programs, and
+ * rmw ops are commutative (add/sub), so operation order across threads
+ * cannot change final memory. Stats counters are pure sums. */
 struct MachineMemory
 {
+    MachineMemory(lang::DramImage &dram_ref, ExecStats &stats_ref)
+        : dram(dram_ref), stats(stats_ref)
+    {}
+
     lang::DramImage &dram;
     std::vector<std::vector<uint32_t>> heap;
     ExecStats &stats;
+    /** Serializes heap growth, DRAM image access, and stats updates
+     * across engine worker threads. */
+    std::mutex mu;
     /** Park slots currently occupied across all park/restore pairs;
      * the high-water mark lands in ExecStats::sramParkedPeak. */
     uint64_t parkedNow = 0;
@@ -79,6 +96,10 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
         if (evalPureOp(op, a, b, c, out))
             return out;
     }
+    // Everything below touches shared machine memory (heap, DRAM,
+    // stats): one lock per op keeps workers serialized only on the
+    // memory ops themselves, never on the pure ALU fast path above.
+    std::lock_guard<std::mutex> guard(mem.mu);
     switch (op.kind) {
       case OpKind::divs:
       case OpKind::divu:
@@ -178,8 +199,11 @@ class KeyedRestore : public dataflow::Process
         if (it == buffered_.end())
             return false; // the key ran ahead of its parked value
         key_->pop();
-        ++mem_->stats.sramAccesses;
-        mem_->releaseSlot();
+        {
+            std::lock_guard<std::mutex> guard(mem_->mu);
+            ++mem_->stats.sramAccesses;
+            mem_->releaseSlot();
+        }
         out_->push(Token::data(it->second));
         buffered_.erase(it);
         return true;
@@ -213,15 +237,15 @@ class KeyedRestore : public dataflow::Process
 ExecStats
 execute(const Dfg &dfg, lang::DramImage &dram,
         const std::vector<int32_t> &args, uint64_t max_rounds,
-        dataflow::Engine::Policy policy)
+        dataflow::Engine::Policy policy, int num_threads)
 {
     ExecStats stats;
     stats.graphNodes = dfg.nodes.size();
     stats.graphLinks = dfg.links.size();
-    auto mem = std::make_shared<MachineMemory>(
-        MachineMemory{dram, {}, stats});
+    auto mem = std::make_shared<MachineMemory>(dram, stats);
 
     dataflow::Engine engine(policy);
+    engine.setNumThreads(num_threads);
     std::vector<Channel *> chans(dfg.links.size(), nullptr);
     for (const auto &link : dfg.links)
         chans[link.id] = engine.channel(link.name);
@@ -340,9 +364,12 @@ execute(const Dfg &dfg, lang::DramImage &dram,
             // associative semantics live entirely in KeyedRestore.
             auto fn = [mem](const std::vector<Word> &in,
                             std::vector<Word> &out) {
-                ++mem->stats.sramAccesses;
-                ++mem->stats.sramParkedElems;
-                mem->parkSlot();
+                {
+                    std::lock_guard<std::mutex> guard(mem->mu);
+                    ++mem->stats.sramAccesses;
+                    ++mem->stats.sramParkedElems;
+                    mem->parkSlot();
+                }
                 out.push_back(in[0]);
             };
             engine.make<dataflow::ElementWise>(uname, bundleIn(0, 1),
@@ -360,8 +387,11 @@ execute(const Dfg &dfg, lang::DramImage &dram,
             // FIFO restore: an in-order pop, identity on the stream.
             auto fn = [mem](const std::vector<Word> &in,
                             std::vector<Word> &out) {
-                ++mem->stats.sramAccesses;
-                mem->releaseSlot();
+                {
+                    std::lock_guard<std::mutex> guard(mem->mu);
+                    ++mem->stats.sramAccesses;
+                    mem->releaseSlot();
+                }
                 out.push_back(in[0]);
             };
             engine.make<dataflow::ElementWise>(uname, bundleIn(0, 1),
@@ -393,6 +423,8 @@ execute(const Dfg &dfg, lang::DramImage &dram,
     stats.schedIdleSteps = sched.idleSteps;
     stats.schedStepsSkipped = sched.stepsSkipped;
     stats.schedVerifyPasses = sched.verifyPasses;
+    stats.schedSteals = sched.steals;
+    stats.schedWorkers = sched.workers;
     stats.drained = engine.drained();
     if (!stats.drained) {
         throw std::runtime_error("dataflow execution stalled: " +

@@ -36,6 +36,10 @@ struct ExecStats
     uint64_t schedIdleSteps = 0;
     uint64_t schedStepsSkipped = 0;
     uint64_t schedVerifyPasses = 0;
+    /** Cross-worker deque steals (Policy::parallel only). */
+    uint64_t schedSteals = 0;
+    /** Worker threads the engine used (1 for single-threaded runs). */
+    uint64_t schedWorkers = 1;
     uint64_t dramReadElems = 0;
     uint64_t dramWriteElems = 0;
     uint64_t dramReadBytes = 0;
@@ -74,16 +78,19 @@ struct ExecStats
 /**
  * Execute @p dfg against @p dram with main's @p args.
  *
- * @param policy scheduling policy for the streaming engine; both
+ * @param policy scheduling policy for the streaming engine; all
  *        policies are semantically interchangeable (Kahn-network
- *        determinism) and the worklist default is the fast path.
+ *        determinism) and the worklist default is the serial fast path.
+ * @param num_threads worker threads for Policy::parallel (0 defers to
+ *        Engine::defaultNumThreads(); ignored by serial policies).
  * @throws std::runtime_error on machine-model violations or livelock.
  */
 ExecStats execute(const Dfg &dfg, lang::DramImage &dram,
                   const std::vector<int32_t> &args,
                   uint64_t max_rounds = dataflow::Engine::defaultMaxRounds,
                   dataflow::Engine::Policy policy =
-                      dataflow::Engine::Policy::worklist);
+                      dataflow::Engine::Policy::worklist,
+                  int num_threads = 0);
 
 } // namespace graph
 } // namespace revet

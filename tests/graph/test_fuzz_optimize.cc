@@ -881,7 +881,7 @@ passConfig(const std::string &which)
 
 std::vector<std::vector<uint8_t>>
 runGraph(const Dfg &g, int scratchElems, int outElems, uint32_t seed,
-         dataflow::Engine::Policy policy,
+         dataflow::Engine::Policy policy, int num_threads = 0,
          graph::ExecStats *statsOut = nullptr)
 {
     DramImage dram(dramProgram());
@@ -892,7 +892,8 @@ runGraph(const Dfg &g, int scratchElems, int outElems, uint32_t seed,
     dram.fill("in", input);
     dram.resize("scratch", static_cast<size_t>(scratchElems) * 4);
     dram.resize("out", static_cast<size_t>(outElems) * 4);
-    auto stats = graph::execute(g, dram, {}, 1u << 24, policy);
+    auto stats = graph::execute(g, dram, {}, 1u << 24, policy,
+                                num_threads);
     EXPECT_TRUE(stats.drained);
     if (statsOut)
         *statsOut = stats;
@@ -961,14 +962,28 @@ diffOnce(uint32_t seed, int stages, const GraphPassOptions &gopts)
     } catch (const std::exception &err) {
         return std::string("optimizer/verify threw: ") + err.what();
     }
+    struct PolicyCase
+    {
+        dataflow::Engine::Policy policy;
+        int threads;
+        const char *name;
+    };
+    // The parallel case pins 2 workers: enough for real cross-thread
+    // channel traffic (and TSan evidence) without oversubscribing the
+    // 3200-execution sweep.
+    const PolicyCase cases[] = {
+        {dataflow::Engine::Policy::roundRobin, 0, "roundRobin"},
+        {dataflow::Engine::Policy::worklist, 0, "worklist"},
+        {dataflow::Engine::Policy::parallel, 2, "parallel"},
+    };
     bool oracle_done = false;
-    for (auto policy : {dataflow::Engine::Policy::roundRobin,
-                        dataflow::Engine::Policy::worklist}) {
+    std::vector<std::vector<uint8_t>> first_raw;
+    for (const auto &pc : cases) {
         graph::ExecStats sa, sb;
         auto a = runGraph(gen.graph, gen.scratchElems, gen.outElems,
-                          seed, policy, &sa);
+                          seed, pc.policy, pc.threads, &sa);
         auto b = runGraph(optimized, gen.scratchElems, gen.outElems,
-                          seed, policy, &sb);
+                          seed, pc.policy, pc.threads, &sb);
         if (!oracle_done) {
             // Per-link value sets are policy-independent; one policy's
             // observations are enough evidence per graph.
@@ -978,14 +993,21 @@ diffOnce(uint32_t seed, int stages, const GraphPassOptions &gopts)
                 v = checkValueSoundness(optimized, sb, "optimized");
             if (!v.empty())
                 return "absint oracle: " + v;
+            first_raw = a;
+        } else {
+            // Cross-policy oracle: scheduling (including true
+            // concurrency) must never leak into DRAM results.
+            for (size_t d = 0; d < a.size(); ++d) {
+                if (a[d] != first_raw[d]) {
+                    return "DRAM region " + std::to_string(d) +
+                        " diverged between policies under " + pc.name;
+                }
+            }
         }
         for (size_t d = 0; d < a.size(); ++d) {
             if (a[d] != b[d]) {
                 return "DRAM region " + std::to_string(d) +
-                    " diverged under policy " +
-                    (policy == dataflow::Engine::Policy::worklist
-                         ? std::string("worklist")
-                         : std::string("roundRobin"));
+                    " diverged under policy " + pc.name;
             }
         }
     }
