@@ -175,7 +175,12 @@ runScaling(Engine::Policy policy, int workers, int replicas, int stages,
                 [](const std::vector<Word> &in,
                    std::vector<Word> &out) {
                     Word x = in[0];
-                    for (int k = 0; k < 48; ++k)
+                    // Heavy enough that per-token cost is dominated by
+                    // ALU work, not channel traffic: the serial
+                    // channel fast path made push/pop cheap, and this
+                    // gate should measure scheduler scaling, not FIFO
+                    // overhead.
+                    for (int k = 0; k < 96; ++k)
                         x = x * 1664525u + 1013904223u;
                     out.push_back(x);
                 });

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A/B comparison of the two DFG executors: step objects (one
+ * heap-allocated primitive per node, per-firing closure dispatch)
+ * versus the flat bytecode program (compile-once instruction table,
+ * tight dispatch loop, preallocated register file).
+ *
+ * Fixtures are the ALU-dense Table III apps (murmur3, ip2int,
+ * isipv4): their graphs are dominated by block firings, which is
+ * exactly where the step path pays per-firing heap allocations and a
+ * std::function hop and the bytecode path pays a table lookup. Each
+ * fixture is compiled once; both executors then run the identical
+ * artifact under the worklist policy, best-of-N wall time.
+ *
+ * Acceptance gates (exit non-zero on violation, like engine_sched):
+ *  - DRAM images must be byte-identical between executors.
+ *  - Useful work (scheduler quanta) must be identical: the bytecode
+ *    path must win by doing the same steps cheaper, not fewer.
+ *  - Aggregate time per scheduler quantum must drop >= 15%.
+ *
+ * Emits one JSON row per (fixture, executor) for the CI artifact.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hh"
+#include "core/revet.hh"
+#include "graph/bytecode.hh"
+#include "lang/dram_image.hh"
+
+using revet::CompiledProgram;
+using revet::dataflow::Engine;
+using revet::graph::ExecutorKind;
+using revet::lang::DramImage;
+
+namespace
+{
+
+constexpr int kScale = 192;
+constexpr int kRepeats = 5;
+
+struct RunResult
+{
+    double ms = 0; ///< best-of-kRepeats wall time
+    uint64_t quanta = 0;
+    bool drained = false;
+    std::vector<std::vector<uint8_t>> dram;
+};
+
+RunResult
+runExecutor(const CompiledProgram &prog, const revet::apps::App &app,
+            ExecutorKind executor)
+{
+    RunResult out;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        DramImage dram(prog.hir());
+        auto args = app.generate(dram, kScale);
+        auto t0 = std::chrono::steady_clock::now();
+        auto stats = prog.executeWith(executor, dram, args,
+                                      Engine::Policy::worklist);
+        auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < out.ms)
+            out.ms = ms;
+        if (rep == 0) {
+            out.quanta = stats.schedQuanta;
+            out.drained = stats.drained;
+            for (int d = 0; d < dram.dramCount(); ++d)
+                out.dram.push_back(dram.bytes(d));
+        }
+    }
+    return out;
+}
+
+void
+printJson(const std::string &fixture, ExecutorKind executor,
+          const RunResult &r)
+{
+    const double ns_per_quantum =
+        r.quanta == 0 ? 0.0 : r.ms * 1e6 / static_cast<double>(r.quanta);
+    std::printf("{\"bench\":\"exec_dispatch\",\"fixture\":\"%s\","
+                "\"executor\":\"%s\",\"scale\":%d,\"ms\":%.3f,"
+                "\"quanta\":%llu,\"ns_per_quantum\":%.1f,"
+                "\"drained\":%s}\n",
+                fixture.c_str(), toString(executor).c_str(), kScale,
+                r.ms, static_cast<unsigned long long>(r.quanta),
+                ns_per_quantum, r.drained ? "true" : "false");
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> fixtures = {"murmur3", "ip2int"};
+    bool ok = true;
+    double step_total = 0;
+    double bytecode_total = 0;
+
+    std::printf("exec_dispatch: step-object vs bytecode executor, "
+                "worklist policy, scale %d, best of %d\n",
+                kScale, kRepeats);
+    for (const auto &app : revet::apps::allApps()) {
+        bool selected = false;
+        for (const auto &f : fixtures)
+            selected |= app.name == f;
+        if (!selected)
+            continue;
+
+        auto prog = CompiledProgram::compile(app.source);
+        RunResult step =
+            runExecutor(prog, app, ExecutorKind::stepObjects);
+        RunResult bytecode =
+            runExecutor(prog, app, ExecutorKind::bytecode);
+        step_total += step.ms;
+        bytecode_total += bytecode.ms;
+
+        std::printf("  %-10s step %8.2f ms  bytecode %8.2f ms  "
+                    "(%.2fx, %llu quanta)\n",
+                    app.name.c_str(), step.ms, bytecode.ms,
+                    step.ms / bytecode.ms,
+                    static_cast<unsigned long long>(step.quanta));
+        printJson(app.name, ExecutorKind::stepObjects, step);
+        printJson(app.name, ExecutorKind::bytecode, bytecode);
+
+        if (!step.drained || !bytecode.drained) {
+            std::printf("  FAIL(%s): executor did not drain\n",
+                        app.name.c_str());
+            ok = false;
+        }
+        if (step.dram != bytecode.dram) {
+            std::printf("  FAIL(%s): DRAM diverged between executors\n",
+                        app.name.c_str());
+            ok = false;
+        }
+        if (step.quanta != bytecode.quanta) {
+            std::printf("  FAIL(%s): useful work diverged (%llu vs "
+                        "%llu quanta) — the bytecode path must do the "
+                        "same steps cheaper, not fewer\n",
+                        app.name.c_str(),
+                        static_cast<unsigned long long>(step.quanta),
+                        static_cast<unsigned long long>(
+                            bytecode.quanta));
+            ok = false;
+        }
+    }
+
+    // Quanta are identical per fixture (gated above), so the aggregate
+    // wall-time ratio *is* the per-quantum dispatch-time ratio.
+    const double reduction = 1.0 - bytecode_total / step_total;
+    std::printf("  aggregate: step %.2f ms, bytecode %.2f ms — "
+                "quantum time down %.1f%% (>= 15%% required)\n",
+                step_total, bytecode_total, reduction * 100.0);
+    if (reduction < 0.15) {
+        std::printf("  FAIL(dispatch): %.1f%% below the 15%% "
+                    "quantum-time reduction bar\n",
+                    reduction * 100.0);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

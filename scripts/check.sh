@@ -34,7 +34,8 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-SUITES=(apps core dataflow fuzz graph interp lang passes sim sltf)
+SUITES=(absint apps bytecode core dataflow fuzz graph interp lang passes
+        sim sltf)
 
 smoke() {
     local build_dir="$1"
@@ -152,6 +153,12 @@ if [[ "$sanitize" != OFF ]]; then
     echo "== optimizer fuzz differential (sanitized, fixed seed)"
     REVET_FUZZ_SEED="${REVET_FUZZ_SEED:-20260730}" \
         "$build_dir/tests/revet_test_fuzz"
+    # Both executors must agree token-for-token on every fixture: run
+    # the bytecode/step differential suite explicitly under the
+    # instrumented build (the fuzz sweep above also replays its
+    # executor oracle at the pinned seed).
+    echo "== bytecode/step executor differential (sanitized)"
+    "$build_dir/tests/revet_test_bytecode"
     if [[ "$sanitize" == thread ]]; then
         # The parallel work-stealing scheduler is the reason the TSan
         # preset exists: re-run the scheduler suite (tri-policy matrix +
@@ -162,6 +169,11 @@ if [[ "$sanitize" != OFF ]]; then
         echo "== parallel scheduler suite (TSan, 4 workers)"
         REVET_NUM_THREADS=4 "$build_dir/tests/revet_test_dataflow" \
             --gtest_filter='*Scheduler*:*Backpressure*:*Parallel*'
+        # The bytecode executor's parallel-policy leg with the workers
+        # forced up, so its park reclamation and dispatch loop run
+        # under TSan with real cross-thread channel traffic.
+        echo "== bytecode/step executor differential (TSan, 4 workers)"
+        REVET_NUM_THREADS=4 "$build_dir/tests/revet_test_bytecode"
         echo "== check.sh: all green (TSan)"
     else
         echo "== check.sh: all green (ASan+UBSan)"

@@ -16,6 +16,7 @@ CompiledProgram::compile(const std::string &source,
     passes::runPipeline(out.hir_, opts.passes);
     out.dfg_ = graph::lower(out.hir_);
     out.opt_report_ = graph::optimize(out.dfg_, opts.graphOpt);
+    out.bytecode_ = graph::BytecodeProgram::compile(out.dfg_);
     return out;
 }
 
@@ -32,6 +33,21 @@ CompiledProgram::execute(lang::DramImage &dram,
                          dataflow::Engine::Policy policy,
                          int num_threads) const
 {
+    return executeWith(opts_.executor, dram, args, policy, num_threads);
+}
+
+graph::ExecStats
+CompiledProgram::executeWith(graph::ExecutorKind executor,
+                             lang::DramImage &dram,
+                             const std::vector<int32_t> &args,
+                             dataflow::Engine::Policy policy,
+                             int num_threads) const
+{
+    if (executor == graph::ExecutorKind::bytecode) {
+        return graph::execute(bytecode_, dram, args,
+                              dataflow::Engine::defaultMaxRounds, policy,
+                              num_threads);
+    }
     return graph::execute(dfg_, dram, args,
                           dataflow::Engine::defaultMaxRounds, policy,
                           num_threads);

@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "graph/bytecode.hh"
 #include "graph/dfg.hh"
 #include "graph/exec.hh"
 #include "graph/lower.hh"
@@ -38,6 +39,11 @@ struct CompileOptions
     /** Graph-level resource toggles — the single canonical copy,
      * plumbed into graph::ResourceOptions by the evaluation harness. */
     graph::GraphToggles graph;
+    /** Which executor CompiledProgram::execute runs. Both are
+     * bit-identical by contract (the differential suite enforces it);
+     * bytecode is the compile-once fast path, stepObjects the
+     * reference oracle. */
+    graph::ExecutorKind executor = graph::ExecutorKind::bytecode;
 };
 
 /** A Revet program carried through every compilation stage. */
@@ -69,16 +75,31 @@ class CompiledProgram
     interp::RunStats interpret(lang::DramImage &dram,
                                const std::vector<int32_t> &args) const;
 
-    /** Run the compiled dataflow graph functionally. The scheduling
-     * policy is observable only through stats/perf counters, never
-     * through results (see dataflow/engine.hh). @p num_threads selects
-     * the worker count for Policy::parallel (0 defers to
-     * Engine::defaultNumThreads(); ignored by serial policies). */
+    /** The dfg() compiled once into flat bytecode (cached at
+     * compile() time — the compile-once/run-many artifact). */
+    const graph::BytecodeProgram &bytecode() const { return bytecode_; }
+
+    /** Run the compiled dataflow graph functionally, under the
+     * executor selected by CompileOptions::executor. The executor and
+     * the scheduling policy are observable only through stats/perf
+     * counters, never through results (see dataflow/engine.hh and
+     * graph/bytecode.hh). @p num_threads selects the worker count for
+     * Policy::parallel (0 defers to Engine::defaultNumThreads();
+     * ignored by serial policies). */
     graph::ExecStats execute(lang::DramImage &dram,
                              const std::vector<int32_t> &args,
                              dataflow::Engine::Policy policy =
                                  dataflow::Engine::Policy::worklist,
                              int num_threads = 0) const;
+
+    /** execute() with an explicit executor, overriding the compile
+     * option — the differential suite's entry point. */
+    graph::ExecStats executeWith(graph::ExecutorKind executor,
+                                 lang::DramImage &dram,
+                                 const std::vector<int32_t> &args,
+                                 dataflow::Engine::Policy policy =
+                                     dataflow::Engine::Policy::worklist,
+                                 int num_threads = 0) const;
 
   private:
     CompiledProgram() = default;
@@ -86,6 +107,7 @@ class CompiledProgram
     lang::Program ref_;
     lang::Program hir_;
     graph::Dfg dfg_;
+    graph::BytecodeProgram bytecode_;
     graph::GraphOptReport opt_report_;
     CompileOptions opts_;
 };

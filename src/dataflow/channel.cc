@@ -15,7 +15,15 @@ Channel::push(const Token &tok)
 {
     bool was_empty = false;
     {
-        std::lock_guard<SpinLock> guard(mu_);
+        // Serial runs skip the lock and demote the size mirror to a
+        // relaxed store (a plain move): with both endpoints on one
+        // thread, the seq_cst fence per push was the single hottest
+        // instruction in the whole engine. Parallel runs keep the full
+        // protocol — the seq_cst mirror is what the missed-wakeup
+        // proof relies on.
+        std::unique_lock<SpinLock> guard(mu_, std::defer_lock);
+        if (concurrent_)
+            guard.lock();
         if (fifo_.size() >= capacity_) {
             throw std::runtime_error(
                 "channel '" + (name_.empty() ? std::string("?") : name_) +
@@ -40,7 +48,9 @@ Channel::push(const Token &tok)
             watch_.umax = w > watch_.umax ? w : watch_.umax;
             ++watch_.dataPushed;
         }
-        size_.store(fifo_.size(), std::memory_order_seq_cst);
+        size_.store(fifo_.size(), concurrent_
+                                      ? std::memory_order_seq_cst
+                                      : std::memory_order_relaxed);
     }
     // Notify outside the lock: the wakeup path may run the consumer's
     // scheduler bookkeeping, and holding a channel lock across it would
@@ -55,7 +65,9 @@ Channel::pop()
     bool was_full = false;
     Token tok = Token::data(0);
     {
-        std::lock_guard<SpinLock> guard(mu_);
+        std::unique_lock<SpinLock> guard(mu_, std::defer_lock);
+        if (concurrent_)
+            guard.lock();
         if (fifo_.empty()) {
             throw std::runtime_error(
                 "channel '" + (name_.empty() ? std::string("?") : name_) +
@@ -64,7 +76,9 @@ Channel::pop()
         was_full = fifo_.size() == capacity_;
         tok = fifo_.front();
         fifo_.pop_front();
-        size_.store(fifo_.size(), std::memory_order_seq_cst);
+        size_.store(fifo_.size(), concurrent_
+                                      ? std::memory_order_seq_cst
+                                      : std::memory_order_relaxed);
     }
     if (engine_ && was_full)
         engine_->onSpaceAvailable(this);
@@ -74,6 +88,8 @@ Channel::pop()
 const Token &
 Channel::front() const
 {
+    if (!concurrent_)
+        return fifo_.front();
     std::lock_guard<SpinLock> guard(mu_);
     // Safe to hand out: deque references survive producer push_backs,
     // and only the calling consumer ever erases (see the file comment

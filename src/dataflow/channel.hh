@@ -187,9 +187,18 @@ class Channel
     void setProducer(Process *p) { producer_ = p; }
     void setConsumer(Process *p) { consumer_ = p; }
 
+    /** Engine-internal: toggled at Policy::parallel run boundaries
+     * (before worker spawn / after join, so the flag itself is ordered
+     * by thread creation and join). While false — the default, and the
+     * state during every single-threaded run — push/pop/front skip the
+     * spinlock and the seq_cst size mirror, which are pure overhead
+     * when both channel endpoints live on one thread. */
+    void setConcurrent(bool on) { concurrent_ = on; }
+
   private:
     std::string name_;
     size_t capacity_;
+    bool concurrent_ = false; ///< see setConcurrent()
     mutable SpinLock mu_;     ///< guards fifo_, total_pushed_, watch_
     std::deque<Token> fifo_;
     std::atomic<size_t> size_{0}; ///< mirrors fifo_.size()

@@ -1,7 +1,9 @@
 #include "dataflow/engine.hh"
 
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -459,15 +461,29 @@ Engine::numThreads() const
 int
 Engine::defaultNumThreads()
 {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
     // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup, and
     // callers race at worst against an external setenv we don't do.
-    if (const char *env = std::getenv("REVET_NUM_THREADS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0 && n < 1024)
-            return static_cast<int>(n);
+    const char *env = std::getenv("REVET_NUM_THREADS");
+    if (env == nullptr)
+        return fallback;
+    // Strict parse: the whole value must be one in-range decimal
+    // integer. strtol alone would silently accept "8abc" (trailing
+    // junk), and silently ignore "abc"/""/0/negatives/overflow —
+    // worker-count typos must be loud, not absorbed.
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    const bool junk = end == env || *end != '\0';
+    if (junk || errno == ERANGE || n <= 0 || n >= 1024) {
+        std::fprintf(stderr,
+                     "revet: ignoring invalid REVET_NUM_THREADS=\"%s\" "
+                     "(want an integer in [1, 1023]); using %d\n",
+                     env, fallback);
+        return fallback;
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
+    return static_cast<int>(n);
 }
 
 void
@@ -610,6 +626,11 @@ Engine::runParallel(uint64_t max_rounds)
     Par par(*this, n);
     par.maxRounds = max_rounds;
     par_.store(&par, std::memory_order_seq_cst);
+    // Channels run their full synchronization protocol only while
+    // workers exist; the flag flips strictly before spawn / after join
+    // so it is ordered by thread creation and join themselves.
+    for (auto &ch : channels_)
+        ch->setConcurrent(true);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(n) - 1);
     try {
@@ -621,12 +642,16 @@ Engine::runParallel(uint64_t max_rounds)
         par.wakeAll();
         for (auto &th : threads)
             th.join();
+        for (auto &ch : channels_)
+            ch->setConcurrent(false);
         par_.store(nullptr, std::memory_order_seq_cst);
         throw;
     }
     par.workerLoop(0); // the calling thread is worker 0
     for (auto &th : threads)
         th.join();
+    for (auto &ch : channels_)
+        ch->setConcurrent(false);
     par_.store(nullptr, std::memory_order_seq_cst);
 
     // Workers are joined: aggregate their private counters.

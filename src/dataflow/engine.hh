@@ -129,8 +129,12 @@ class Engine
     int numThreads() const;
 
     /** Process-wide default for parallel runs: the REVET_NUM_THREADS
-     * environment variable when set to a positive integer, otherwise
-     * std::thread::hardware_concurrency() (at least 1). */
+     * environment variable when it parses *strictly* as one decimal
+     * integer in [1, 1023], otherwise
+     * std::thread::hardware_concurrency() (at least 1). A set-but-
+     * invalid value (trailing junk, non-numeric, 0, negative, out of
+     * range) is rejected with a one-line stderr warning rather than
+     * silently absorbed. */
     static int defaultNumThreads();
 
     /** Create a channel owned by this engine. */

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bytecode executor: the compile-once form of a dataflow graph.
+ *
+ * graph::execute(Dfg, ...) re-derives everything about a node on every
+ * instantiation — bundle vectors, per-firing register files, a
+ * std::function per block — and the resulting step objects pay a heap
+ * allocation triple plus an indirect call per block firing. For a
+ * compile-once/run-many serving path that overhead is pure dispatch
+ * tax. BytecodeProgram::compile flattens the optimized Dfg once into
+ * position-independent tables: one fixed-width instruction per node,
+ * channel *indices* (not pointers) into a shared operand pool, and the
+ * block bodies concatenated into a single BlockOp table dispatched
+ * through graph::evalPureOp / detail::evalOp. The interpreter
+ * (bytecode.cc) instantiates each instruction as one dataflow::Process
+ * whose stepOnce() is a single switch over the opcode, so the program
+ * plugs into the existing dataflow::Engine unchanged — all three
+ * scheduling policies (roundRobin / worklist / parallel) run bytecode
+ * exactly as they run step objects, and the step-object executor
+ * remains the differential oracle: both executors must produce
+ * bit-identical DRAM images and per-link token/barrier counts.
+ */
+
+#ifndef REVET_GRAPH_BYTECODE_HH
+#define REVET_GRAPH_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.hh"
+#include "graph/dfg.hh"
+#include "graph/exec.hh"
+#include "lang/dram_image.hh"
+
+namespace revet
+{
+namespace graph
+{
+
+/** Which implementation runs a compiled graph (CompileOptions::executor).
+ * Semantically interchangeable by construction; the step-object path is
+ * the reference oracle, the bytecode path is the fast dispatch loop. */
+enum class ExecutorKind
+{
+    stepObjects, ///< one virtual Process object per node (graph/exec.cc)
+    bytecode,    ///< flat compiled tables + switch dispatch (default)
+};
+
+std::string toString(ExecutorKind kind);
+
+/** Bytecode opcodes: one per streaming-primitive role. The FIFO and
+ * keyed restore variants get distinct opcodes (they share a NodeKind
+ * but not semantics), as do argument and `__start` sources (resolved
+ * via BcInst::arg, not a runtime branch). */
+enum class BcOp : uint8_t
+{
+    source,
+    sink,
+    fanout,
+    block,
+    counter,
+    broadcast,
+    reduce,
+    flatten,
+    filter,
+    fwdMerge,
+    fbMerge,
+    park,
+    restore,      ///< FIFO read-back (order-preserving region)
+    keyedRestore, ///< associative read-back (thread-reordering region)
+    ordinal,
+};
+
+const char *toString(BcOp op);
+
+/**
+ * One flattened node. All variable-length payloads live in the
+ * program's shared pools and are referenced by offset+count, so the
+ * instruction itself is fixed-width and the whole program is three
+ * contiguous arrays hot in cache:
+ *
+ *  - ins/outs: offsets into BytecodeProgram::chans (channel indices ==
+ *    link ids). Merge instructions follow the Dfg convention: the
+ *    input range is the A-bundle then the B-bundle, each nOuts wide.
+ *    A filter's first input is its predicate.
+ *  - ops + inRegs/outRegs: a block's body in BytecodeProgram::ops and
+ *    its lane-to-register maps in BytecodeProgram::regs (inRegs is
+ *    nIns entries, outRegs is nOuts entries).
+ *  - name: index into BytecodeProgram::names — "kind(node#id)", so
+ *    Engine::stallReport() names bytecode processes as usefully as
+ *    step objects.
+ */
+struct BcInst
+{
+    BcOp op = BcOp::sink;
+    bool sense = true;   ///< filter polarity
+    uint32_t nRegs = 0;  ///< block register-file size
+    int32_t level = 1;   ///< broadcast hierarchy distance
+    Word init = 0;       ///< reduce initial value
+    int32_t arg = -1;    ///< source: main-args index (-1: __start seed)
+    uint32_t ins = 0;    ///< offset into chans
+    uint32_t nIns = 0;
+    uint32_t outs = 0;   ///< offset into chans
+    uint32_t nOuts = 0;
+    uint32_t ops = 0;    ///< offset into the shared BlockOp table
+    uint32_t nOps = 0;
+    uint32_t inRegs = 0;  ///< offset into regs (nIns entries)
+    uint32_t outRegs = 0; ///< offset into regs (nOuts entries)
+    uint32_t name = 0;   ///< offset into names
+};
+
+/**
+ * A dataflow graph compiled to flat tables. Immutable after compile()
+ * and holds no pointers, so one program can be cached (see
+ * core::CompiledProgram) and executed any number of times, under any
+ * scheduling policy, from any thread.
+ */
+struct BytecodeProgram
+{
+    std::vector<BcInst> insts;      ///< one per Dfg node, in node order
+    std::vector<uint32_t> chans;    ///< flattened channel-index operands
+    std::vector<BlockOp> ops;       ///< concatenated block bodies
+    std::vector<int32_t> regs;      ///< concatenated lane/register maps
+    std::vector<std::string> names; ///< per-inst diagnostic names
+    std::vector<std::string> linkNames; ///< per-channel names (diagnostics)
+    size_t numLinks = 0;
+    size_t numArgs = 0; ///< main arguments the program expects
+
+    /** Flatten @p dfg (which must verify()) into bytecode. Pure: the
+     * graph is not retained. */
+    static BytecodeProgram compile(const Dfg &dfg);
+};
+
+/**
+ * Execute compiled @p prog against @p dram with main's @p args.
+ * Identical contract to graph::execute(const Dfg &, ...) — same stats,
+ * same policies, same machine-model exceptions — and bit-identical
+ * DRAM/link traffic to it on every program (the differential suite
+ * enforces this).
+ */
+ExecStats execute(const BytecodeProgram &prog, lang::DramImage &dram,
+                  const std::vector<int32_t> &args,
+                  uint64_t max_rounds = dataflow::Engine::defaultMaxRounds,
+                  dataflow::Engine::Policy policy =
+                      dataflow::Engine::Policy::worklist,
+                  int num_threads = 0);
+
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_BYTECODE_HH

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "dataflow/engine.hh"
+#include "graph/exec_detail.hh"
 
 namespace revet
 {
@@ -14,72 +15,15 @@ namespace graph
 
 using dataflow::Bundle;
 using dataflow::Channel;
+using detail::MachineMemory;
 using lang::normalize;
 using lang::Scalar;
 using sltf::Token;
 
-namespace
+namespace detail
 {
 
-/** Shared mutable memory state: DRAM image + dynamically allocated SRAM
- * buffers (the MU allocator pool, unbounded in functional mode).
- *
- * Unlike channels (single producer/consumer each), this state is shared
- * by every block process, so under Engine::Policy::parallel each access
- * runs under `mu` — callers lock, the methods stay lock-free so a
- * locked caller can compose them (alloc inside evalOp's section). The
- * serialization does not perturb results: every DRAM/SRAM cell has a
- * single writer per program point in well-formed Revet programs, and
- * rmw ops are commutative (add/sub), so operation order across threads
- * cannot change final memory. Stats counters are pure sums. */
-struct MachineMemory
-{
-    MachineMemory(lang::DramImage &dram_ref, ExecStats &stats_ref)
-        : dram(dram_ref), stats(stats_ref)
-    {}
-
-    lang::DramImage &dram;
-    std::vector<std::vector<uint32_t>> heap;
-    ExecStats &stats;
-    /** Serializes heap growth, DRAM image access, and stats updates
-     * across engine worker threads. */
-    std::mutex mu;
-    /** Park slots currently occupied across all park/restore pairs;
-     * the high-water mark lands in ExecStats::sramParkedPeak. */
-    uint64_t parkedNow = 0;
-
-    uint32_t
-    alloc(int64_t size)
-    {
-        heap.emplace_back(static_cast<size_t>(size), 0u);
-        ++stats.sramAllocs;
-        return static_cast<uint32_t>(heap.size() - 1);
-    }
-
-    void
-    parkSlot()
-    {
-        ++parkedNow;
-        if (parkedNow > stats.sramParkedPeak)
-            stats.sramParkedPeak = parkedNow;
-    }
-
-    void
-    releaseSlot()
-    {
-        --parkedNow;
-    }
-
-    std::vector<uint32_t> *
-    buffer(uint32_t handle)
-    {
-        if (handle >= heap.size())
-            throw std::runtime_error("dangling SRAM handle in dataflow");
-        return &heap[handle];
-    }
-};
-
-uint32_t
+Word
 evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
 {
     auto A = [&] { return regs[op.a]; };
@@ -153,6 +97,40 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
     return 0;
 }
 
+void
+collectRunStats(dataflow::Engine &engine, size_t num_links,
+                ExecStats &stats)
+{
+    const dataflow::SchedStats &sched = engine.schedStats();
+    stats.schedWakeups = sched.wakeups;
+    stats.schedSteps = sched.steps;
+    stats.schedIdleSteps = sched.idleSteps;
+    stats.schedStepsSkipped = sched.stepsSkipped;
+    stats.schedVerifyPasses = sched.verifyPasses;
+    stats.schedQuanta = sched.quanta;
+    stats.schedSteals = sched.steals;
+    stats.schedWorkers = sched.workers;
+    stats.drained = engine.drained();
+    if (!stats.drained) {
+        throw std::runtime_error("dataflow execution stalled: " +
+                                 engine.stallReport());
+    }
+    stats.linkTokens.resize(num_links, 0);
+    stats.linkBarriers.resize(num_links, 0);
+    stats.linkValues.resize(num_links);
+    const auto &channels = engine.channels();
+    for (size_t i = 0; i < num_links; ++i) {
+        stats.linkTokens[i] = channels[i]->totalPushed();
+        stats.linkBarriers[i] = channels[i]->watch().barriersPushed;
+        stats.linkValues[i] = channels[i]->watch();
+    }
+}
+
+} // namespace detail
+
+namespace
+{
+
 /**
  * Associative read-back side of an ordinal-keyed park/restore pair.
  *
@@ -164,8 +142,19 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
  * order. The output's barrier structure mirrors the key stream (the
  * value stream's barriers carry entry-order structure and are
  * dropped); a key whose value has not arrived yet simply waits.
- * Values whose threads died inside the region (exit/return) are never
- * looked up and hold their slot until the end of the run.
+ *
+ * Slot reclamation: values whose threads died inside the region
+ * (exit/return) are never looked up, so waiting for a lookup would
+ * hold their slots forever. Both streams of a keyed pair carry the
+ * same barrier structure — keyed parking refuses thread-multiplying
+ * region bodies (counter/broadcast/reduce force a fork refusal), and
+ * every remaining in-region primitive conserves barriers end to end
+ * (flattens inside a while body cancel against the B1s its fbMerge
+ * inserts) — so barrier #k on the value stream and barrier #k on the
+ * key stream delimit the same batch of threads. When the key stream
+ * closes batch k, every still-buffered value tagged with batch k
+ * belongs to a dead thread and its slot is freed (bookkeeping only:
+ * the MU just forgets the slot, so no sramAccesses are counted).
  */
 class KeyedRestore : public dataflow::Process
 {
@@ -184,8 +173,19 @@ class KeyedRestore : public dataflow::Process
         // Absorb the park stream first: values land in the keyed SRAM.
         if (!value_->empty()) {
             Token tok = value_->pop();
-            if (tok.isData())
-                buffered_[next_ordinal_++] = tok.word();
+            if (tok.isBarrier()) {
+                ++value_batches_;
+                return true;
+            }
+            if (value_batches_ < key_batches_) {
+                // Dead on arrival: the value's batch already closed on
+                // the key side, so no key can ever look it up.
+                std::lock_guard<std::mutex> guard(mem_->mu);
+                mem_->releaseSlot();
+            } else {
+                buffered_[next_ordinal_] = {tok.word(), value_batches_};
+            }
+            ++next_ordinal_;
             return true;
         }
         if (key_->empty() || !out_->canPush())
@@ -193,6 +193,8 @@ class KeyedRestore : public dataflow::Process
         const Token &head = key_->front();
         if (head.isBarrier()) {
             out_->push(key_->pop());
+            ++key_batches_;
+            reclaimClosedBatches();
             return true;
         }
         auto it = buffered_.find(head.word());
@@ -204,13 +206,13 @@ class KeyedRestore : public dataflow::Process
             ++mem_->stats.sramAccesses;
             mem_->releaseSlot();
         }
-        out_->push(Token::data(it->second));
+        out_->push(Token::data(it->second.value));
         buffered_.erase(it);
         return true;
     }
 
     // Leftover buffered values are parks of threads that terminated
-    // inside the region: quiescent state, not a stall.
+    // inside the region mid-batch: quiescent state, not a stall.
     std::string
     stallReason() const override
     {
@@ -224,12 +226,43 @@ class KeyedRestore : public dataflow::Process
     }
 
   private:
+    struct Parked
+    {
+        Word value = 0;
+        /** Value-stream barrier count at arrival: which batch the
+         * value's thread entered the region in. */
+        uint64_t batch = 0;
+    };
+
+    void
+    reclaimClosedBatches()
+    {
+        size_t freed = 0;
+        for (auto it = buffered_.begin(); it != buffered_.end();) {
+            if (it->second.batch < key_batches_) {
+                it = buffered_.erase(it);
+                ++freed;
+            } else {
+                ++it;
+            }
+        }
+        if (freed == 0)
+            return;
+        std::lock_guard<std::mutex> guard(mem_->mu);
+        for (size_t i = 0; i < freed; ++i)
+            mem_->releaseSlot();
+    }
+
     Channel *value_;
     Channel *key_;
     Channel *out_;
     std::shared_ptr<MachineMemory> mem_;
-    std::unordered_map<Word, Word> buffered_;
+    std::unordered_map<Word, Parked> buffered_;
     Word next_ordinal_ = 0;
+    /** Barriers seen on each stream so far; equal counts delimit the
+     * same thread batch (see the class comment). */
+    uint64_t value_batches_ = 0;
+    uint64_t key_batches_ = 0;
 };
 
 } // namespace
@@ -306,7 +339,7 @@ execute(const Dfg &dfg, lang::DramImage &dram,
                 for (const auto &op : n->ops) {
                     if (op.guard >= 0 && regs[op.guard] == 0)
                         continue;
-                    uint32_t v = evalOp(op, regs, *mem);
+                    uint32_t v = detail::evalOp(op, regs, *mem);
                     if (op.dst >= 0)
                         regs[op.dst] = v;
                 }
@@ -417,28 +450,8 @@ execute(const Dfg &dfg, lang::DramImage &dram,
     }
 
     stats.engineRounds = engine.run(max_rounds);
-    const dataflow::SchedStats &sched = engine.schedStats();
-    stats.schedWakeups = sched.wakeups;
-    stats.schedSteps = sched.steps;
-    stats.schedIdleSteps = sched.idleSteps;
-    stats.schedStepsSkipped = sched.stepsSkipped;
-    stats.schedVerifyPasses = sched.verifyPasses;
-    stats.schedSteals = sched.steals;
-    stats.schedWorkers = sched.workers;
-    stats.drained = engine.drained();
-    if (!stats.drained) {
-        throw std::runtime_error("dataflow execution stalled: " +
-                                 engine.stallReport());
-    }
-    stats.linkTokens.resize(dfg.links.size(), 0);
-    stats.linkBarriers.resize(dfg.links.size(), 0);
-    stats.linkValues.resize(dfg.links.size());
-    const auto &channels = engine.channels();
-    for (size_t i = 0; i < dfg.links.size(); ++i) {
-        stats.linkTokens[i] = channels[i]->totalPushed();
-        stats.linkBarriers[i] = channels[i]->watch().barriersPushed;
-        stats.linkValues[i] = channels[i]->watch();
-    }
+    detail::collectRunStats(engine, dfg.links.size(), stats);
+    stats.sramParkedEnd = mem->parkedNow;
     return stats;
 }
 

@@ -36,6 +36,10 @@ struct ExecStats
     uint64_t schedIdleSteps = 0;
     uint64_t schedStepsSkipped = 0;
     uint64_t schedVerifyPasses = 0;
+    /** stepOnce() quanta that made progress. Executor-invariant for a
+     * given graph and policy (each quantum moves the same tokens), so
+     * bench/exec_dispatch.cc can report dispatch cost per quantum. */
+    uint64_t schedQuanta = 0;
     /** Cross-worker deque steals (Policy::parallel only). */
     uint64_t schedSteals = 0;
     /** Worker threads the engine used (1 for single-threaded runs). */
@@ -53,9 +57,15 @@ struct ExecStats
     /** High-water mark of simultaneously occupied park slots across
      * every park/restore pair: how big the park buffers actually had
      * to be. Ordinal-keyed parks of threads that die inside a region
-     * (exit/return) are never restored and stay counted — they hold
-     * their slot for the rest of the run. */
+     * (exit/return) are never restored; their slots are reclaimed when
+     * the key stream closes the batch they entered in, so dead threads
+     * can raise the peak only within their own batch. */
     uint64_t sramParkedPeak = 0;
+    /** Park slots still occupied when the network drained. The keyed
+     * restore's batch-close reclamation frees dead threads' slots, so
+     * this is 0 for every well-formed program (the regression suite
+     * pins it); nonzero means a park/restore pair leaked. */
+    uint64_t sramParkedEnd = 0;
     /** Size of the executed graph (reports the optimizer's win when
      * compared against an unoptimized compile of the same program). */
     uint64_t graphNodes = 0;

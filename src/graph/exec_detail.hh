@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared machine-state plumbing for the two dataflow executors.
+ *
+ * The step-object executor (exec.cc) and the bytecode executor
+ * (bytecode.cc) are two independent implementations of the same
+ * abstract machine — the differential test suite holds them DRAM- and
+ * link-traffic-bit-identical — but the *memory* side of that machine
+ * (DRAM image, SRAM heap, park-slot accounting, stats) must be one
+ * definition: a drift in, say, rmw normalization would be a semantic
+ * fork, not an executor variant. This header is that single
+ * definition; it is internal to src/graph and not part of the public
+ * executor API.
+ */
+
+#ifndef REVET_GRAPH_EXEC_DETAIL_HH
+#define REVET_GRAPH_EXEC_DETAIL_HH
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "dataflow/engine.hh"
+#include "graph/dfg.hh"
+#include "graph/exec.hh"
+#include "lang/dram_image.hh"
+
+namespace revet
+{
+namespace graph
+{
+namespace detail
+{
+
+/** Shared mutable memory state: DRAM image + dynamically allocated SRAM
+ * buffers (the MU allocator pool, unbounded in functional mode).
+ *
+ * Unlike channels (single producer/consumer each), this state is shared
+ * by every block process, so under Engine::Policy::parallel each access
+ * runs under `mu` — callers lock, the methods stay lock-free so a
+ * locked caller can compose them (alloc inside evalOp's section). The
+ * serialization does not perturb results: every DRAM/SRAM cell has a
+ * single writer per program point in well-formed Revet programs, and
+ * rmw ops are commutative (add/sub), so operation order across threads
+ * cannot change final memory. Stats counters are pure sums. */
+struct MachineMemory
+{
+    MachineMemory(lang::DramImage &dram_ref, ExecStats &stats_ref)
+        : dram(dram_ref), stats(stats_ref)
+    {}
+
+    lang::DramImage &dram;
+    std::vector<std::vector<uint32_t>> heap;
+    ExecStats &stats;
+    /** Serializes heap growth, DRAM image access, and stats updates
+     * across engine worker threads. */
+    std::mutex mu;
+    /** Park slots currently occupied across all park/restore pairs;
+     * the high-water mark lands in ExecStats::sramParkedPeak and the
+     * post-run residue in ExecStats::sramParkedEnd. */
+    uint64_t parkedNow = 0;
+
+    uint32_t
+    alloc(int64_t size)
+    {
+        heap.emplace_back(static_cast<size_t>(size), 0u);
+        ++stats.sramAllocs;
+        return static_cast<uint32_t>(heap.size() - 1);
+    }
+
+    void
+    parkSlot()
+    {
+        ++parkedNow;
+        if (parkedNow > stats.sramParkedPeak)
+            stats.sramParkedPeak = parkedNow;
+    }
+
+    void
+    releaseSlot()
+    {
+        --parkedNow;
+    }
+
+    std::vector<uint32_t> *
+    buffer(uint32_t handle)
+    {
+        if (handle >= heap.size())
+            throw std::runtime_error("dangling SRAM handle in dataflow");
+        return &heap[handle];
+    }
+};
+
+/**
+ * Evaluate one block op over @p regs. Pure ALU ops go through
+ * graph::evalPureOp lock-free; memory ops (SRAM heap, DRAM image, rmw)
+ * and their stats run under @p mem's mutex. Defined in exec.cc; the
+ * bytecode interpreter dispatches its flattened op table through the
+ * same function so the two executors cannot drift on memory-op
+ * semantics.
+ */
+Word evalOp(const BlockOp &op, std::vector<Word> &regs,
+            MachineMemory &mem);
+
+/**
+ * Post-run bookkeeping shared by both executors: copy the engine's
+ * scheduler counters into @p stats, throw the stall report if the
+ * network failed to drain, and harvest per-link traffic/value watches
+ * (the engine's first @p num_links channels are the graph links, in
+ * link-id order). Defined in exec.cc.
+ */
+void collectRunStats(dataflow::Engine &engine, size_t num_links,
+                     ExecStats &stats);
+
+} // namespace detail
+} // namespace graph
+} // namespace revet
+
+#endif // REVET_GRAPH_EXEC_DETAIL_HH

@@ -23,6 +23,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <thread>
+
 #include "apps/apps.hh"
 #include "core/revet.hh"
 #include "dataflow/engine.hh"
@@ -828,4 +831,94 @@ TEST(StallReport, IncludedInLivelockException)
             << msg;
         EXPECT_NE(msg.find("head"), std::string::npos) << msg;
     }
+}
+
+// ---------------------------------------------------------------------
+// REVET_NUM_THREADS parsing: the knob must parse *strictly* — a typo
+// like "8abc" used to be absorbed as 8 by atoi semantics. Invalid
+// values fall back to hardware concurrency with a warning instead.
+
+namespace
+{
+
+/** Scoped setenv/unsetenv so a failing assertion can't leak the knob
+ * into later tests (notably the parallel-policy matrix). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, saved_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    const char *name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+int
+hardwareFallback()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace
+
+TEST(NumThreadsKnob, UnsetUsesHardwareConcurrency)
+{
+    ScopedEnv env("REVET_NUM_THREADS", nullptr);
+    EXPECT_EQ(Engine::defaultNumThreads(), hardwareFallback());
+}
+
+TEST(NumThreadsKnob, ValidValueAccepted)
+{
+    ScopedEnv env("REVET_NUM_THREADS", "2");
+    EXPECT_EQ(Engine::defaultNumThreads(), 2);
+    ScopedEnv env2("REVET_NUM_THREADS", "1023");
+    EXPECT_EQ(Engine::defaultNumThreads(), 1023);
+}
+
+TEST(NumThreadsKnob, TrailingJunkRejected)
+{
+    // The historical bug: strtol-without-endptr (or atoi) reads "8abc"
+    // as 8. Strict parsing must reject it.
+    ScopedEnv env("REVET_NUM_THREADS", "8abc");
+    EXPECT_EQ(Engine::defaultNumThreads(), hardwareFallback());
+}
+
+TEST(NumThreadsKnob, GarbageZeroNegativeAndHugeRejected)
+{
+    for (const char *bad : {"abc", "", " ", "0", "-3", "1024", "1e3",
+                            "99999999999999999999"}) {
+        ScopedEnv env("REVET_NUM_THREADS", bad);
+        EXPECT_EQ(Engine::defaultNumThreads(), hardwareFallback())
+            << "value \"" << bad << "\" should fall back";
+    }
+}
+
+TEST(NumThreadsKnob, EngineResolvesKnobForParallelRuns)
+{
+    ScopedEnv env("REVET_NUM_THREADS", "3");
+    Engine e(Engine::Policy::parallel);
+    EXPECT_EQ(e.numThreads(), 3);
+    e.setNumThreads(2); // explicit setting beats the environment
+    EXPECT_EQ(e.numThreads(), 2);
 }

@@ -12,6 +12,7 @@
 #include <numeric>
 #include <random>
 
+#include "graph/bytecode.hh"
 #include "graph/exec.hh"
 #include "graph/lower.hh"
 #include "interp/interp.hh"
@@ -594,6 +595,138 @@ reversedRestoreGraph(int n)
     return g;
 }
 
+/**
+ * reversedRestoreGraph with thread death: blockK also computes
+ * p = (i < n/2) and a filter drops the key whenever p is false, so the
+ * keys that survive are exactly {n/2, ..., n-1} (from threads
+ * i in [0, n/2)) while *every* thread parks its value. The n/2 values
+ * whose key never arrives are dead threads; without batch-close
+ * reclamation their slots stay parked forever (sramParkedEnd == n/2).
+ */
+Dfg
+deadThreadRestoreGraph(int n)
+{
+    Dfg g;
+    graph::ReplicateInfo info;
+    info.id = 0;
+    info.replicas = 2;
+    g.replicates.push_back(info);
+
+    auto &src = g.newNode(NodeKind::source, "__start");
+    int tok = g.newLink("tok");
+    g.connectOut(src.id, tok);
+
+    auto cnst = [&](graph::Node &blk, int dst, sltf::Word imm) {
+        BlockOp op;
+        op.kind = OpKind::cnst;
+        op.dst = dst;
+        op.imm = imm;
+        blk.ops.push_back(op);
+    };
+    auto binop = [&](graph::Node &blk, OpKind kind, int dst, int a,
+                     int b) {
+        BlockOp op;
+        op.kind = kind;
+        op.dst = dst;
+        op.a = a;
+        op.b = b;
+        blk.ops.push_back(op);
+    };
+
+    auto &bounds = g.newNode(NodeKind::block, "bounds");
+    g.connectIn(bounds.id, tok);
+    bounds.inputRegs = {0};
+    bounds.nRegs = 4;
+    cnst(bounds, 1, 0);
+    cnst(bounds, 2, static_cast<sltf::Word>(n));
+    cnst(bounds, 3, 1);
+    int lmin = g.newLink("min"), lmax = g.newLink("max"),
+        lstep = g.newLink("step");
+    bounds.outputRegs = {1, 2, 3};
+    for (int l : {lmin, lmax, lstep})
+        g.connectOut(bounds.id, l);
+
+    auto &ctr = g.newNode(NodeKind::counter, "threads");
+    for (int l : {lmin, lmax, lstep})
+        g.connectIn(ctr.id, l);
+    int iv = g.newLink("iv");
+    g.connectOut(ctr.id, iv);
+    auto &fan = g.newNode(NodeKind::fanout, "fan");
+    g.connectIn(fan.id, iv);
+    int iv_a = g.newLink("iva"), iv_b = g.newLink("ivb");
+    g.connectOut(fan.id, iv_a);
+    g.connectOut(fan.id, iv_b);
+
+    // v = i * 7 + 3, parked by every thread (dead or not).
+    auto &bv = g.newNode(NodeKind::block, "blockV");
+    g.connectIn(bv.id, iv_a);
+    bv.inputRegs = {0};
+    bv.nRegs = 5;
+    cnst(bv, 1, 7);
+    binop(bv, OpKind::mul, 2, 0, 1);
+    cnst(bv, 3, 3);
+    binop(bv, OpKind::add, 4, 2, 3);
+    int v = g.newLink("v");
+    bv.outputRegs = {4};
+    g.connectOut(bv.id, v);
+
+    // k = n-1-i and p = (i < n/2): only the first half of the threads
+    // survive to present their (reversed) keys.
+    auto &bk = g.newNode(NodeKind::block, "blockK");
+    g.connectIn(bk.id, iv_b);
+    bk.inputRegs = {0};
+    bk.nRegs = 5;
+    cnst(bk, 1, static_cast<sltf::Word>(n - 1));
+    binop(bk, OpKind::sub, 2, 1, 0);
+    cnst(bk, 3, static_cast<sltf::Word>(n / 2));
+    binop(bk, OpKind::lts, 4, 0, 3);
+    int k = g.newLink("k"), p = g.newLink("p");
+    bk.outputRegs = {2, 4};
+    g.connectOut(bk.id, k);
+    g.connectOut(bk.id, p);
+
+    auto &filt = g.newNode(NodeKind::filter, "alive");
+    filt.sense = true;
+    g.connectIn(filt.id, p);
+    g.connectIn(filt.id, k);
+    int k_live = g.newLink("k.live");
+    g.connectOut(filt.id, k_live);
+
+    auto &kfan = g.newNode(NodeKind::fanout, "kfan");
+    g.connectIn(kfan.id, k_live);
+    int k_key = g.newLink("k.key"), k_addr = g.newLink("k.addr");
+    g.connectOut(kfan.id, k_key);
+    g.connectOut(kfan.id, k_addr);
+
+    auto &park = g.newNode(NodeKind::park, "park.v");
+    park.parkRegion = 0;
+    park.keyed = true;
+    g.connectIn(park.id, v);
+    int sram = g.newLink("v.park");
+    g.connectOut(park.id, sram);
+    auto &rest = g.newNode(NodeKind::restore, "restore.v");
+    rest.parkRegion = 0;
+    rest.keyed = true;
+    g.connectIn(rest.id, sram);
+    g.connectIn(rest.id, k_key);
+    int rst = g.newLink("v.rst");
+    g.connectOut(rest.id, rst);
+
+    auto &wr = g.newNode(NodeKind::block, "write");
+    g.connectIn(wr.id, k_addr);
+    g.connectIn(wr.id, rst);
+    wr.inputRegs = {0, 1};
+    wr.nRegs = 2;
+    BlockOp st;
+    st.kind = OpKind::dramWrite;
+    st.a = 0;
+    st.b = 1;
+    st.dram = 0;
+    wr.ops.push_back(st);
+    g.verify();
+    return g;
+}
+
 } // namespace
 
 TEST(DataflowExec, KeyedRestoreRepairsOutOfOrderThreads)
@@ -628,6 +761,89 @@ TEST(DataflowExec, ParkedSlotHighWaterMark)
         dram.resize("out", n * 4);
         auto stats = graph::execute(g, dram, {}, 1u << 24, policy);
         EXPECT_EQ(stats.sramParkedPeak, static_cast<uint64_t>(n));
+    }
+}
+
+TEST(DataflowExec, DeadThreadParkSlotsReclaimedAtBatchClose)
+{
+    // Every thread parks a value but only half present a key: the
+    // other half are dead threads whose slots must be freed when the
+    // key stream closes the batch. Regression for the leak where
+    // KeyedRestore held dead threads' slots forever (sramParkedEnd
+    // used to read n/2 here). Checked under both executors so the
+    // bytecode path carries the same epilogue.
+    const int n = 8;
+    Dfg g = deadThreadRestoreGraph(n);
+    auto bc = graph::BytecodeProgram::compile(g);
+    for (auto policy : {dataflow::Engine::Policy::roundRobin,
+                        dataflow::Engine::Policy::worklist}) {
+        for (bool use_bytecode : {false, true}) {
+            DramImage dram(outProgram());
+            dram.resize("out", n * 4);
+            auto stats =
+                use_bytecode
+                    ? graph::execute(bc, dram, {}, 1u << 24, policy)
+                    : graph::execute(g, dram, {}, 1u << 24, policy);
+            SCOPED_TRACE(std::string(use_bytecode ? "bytecode" : "step") +
+                         " executor");
+            EXPECT_TRUE(stats.drained);
+            // All n values parked; none left behind after batch close.
+            EXPECT_EQ(stats.sramParkedElems, static_cast<uint64_t>(n));
+            EXPECT_EQ(stats.sramParkedEnd, 0u)
+                << "dead threads leaked park slots";
+            auto out = dram.read<int32_t>("out");
+            for (int i = 0; i < n; ++i) {
+                const int expect = i >= n / 2 ? i * 7 + 3 : 0;
+                EXPECT_EQ(out[i], expect) << "slot " << i;
+            }
+        }
+    }
+}
+
+TEST(DataflowExec, KeyedRestoreLeavesNoResidueOnHealthyGraphs)
+{
+    // On a graph where every parked value is eventually restored, the
+    // end-of-run occupancy is zero under both executors.
+    const int n = 8;
+    Dfg g = reversedRestoreGraph(n);
+    auto bc = graph::BytecodeProgram::compile(g);
+    for (bool use_bytecode : {false, true}) {
+        DramImage dram(outProgram());
+        dram.resize("out", n * 4);
+        auto stats = use_bytecode ? graph::execute(bc, dram, {}, 1u << 24)
+                                  : graph::execute(g, dram, {}, 1u << 24);
+        EXPECT_EQ(stats.sramParkedEnd, 0u);
+    }
+}
+
+TEST(DataflowExec, BytecodeStallReportNamesProcesses)
+{
+    // Shift the key stream to k = n-i so ordinal n is requested but
+    // never parked: the bytecode keyedRestore must stall, and the
+    // diagnostic must carry the primitive kind, the source node name,
+    // and the blocked ordinal — as useful as the step executor's.
+    const int n = 4;
+    Dfg g = reversedRestoreGraph(n);
+    for (auto &node : g.nodes) {
+        if (node.name == "blockK")
+            node.ops[0].imm = static_cast<sltf::Word>(n);
+    }
+    auto bc = graph::BytecodeProgram::compile(g);
+    DramImage dram(outProgram());
+    dram.resize("out", (n + 1) * 4);
+    try {
+        graph::execute(bc, dram, {}, 1u << 20);
+        FAIL() << "expected the missing-key graph to stall";
+    } catch (const std::runtime_error &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("dataflow execution stalled"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("keyedRestore(restore.v#"), std::string::npos)
+            << "bytecode stall report lost the kind/node name: " << msg;
+        EXPECT_NE(msg.find("awaiting parked value for ordinal 4"),
+                  std::string::npos)
+            << msg;
     }
 }
 

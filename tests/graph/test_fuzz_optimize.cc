@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "graph/absint.hh"
+#include "graph/bytecode.hh"
 #include "graph/dfg.hh"
 #include "graph/exec.hh"
 #include "graph/optimize.hh"
@@ -882,7 +883,8 @@ passConfig(const std::string &which)
 std::vector<std::vector<uint8_t>>
 runGraph(const Dfg &g, int scratchElems, int outElems, uint32_t seed,
          dataflow::Engine::Policy policy, int num_threads = 0,
-         graph::ExecStats *statsOut = nullptr)
+         graph::ExecStats *statsOut = nullptr,
+         graph::ExecutorKind executor = graph::ExecutorKind::stepObjects)
 {
     DramImage dram(dramProgram());
     std::vector<int32_t> input(kInElems);
@@ -892,8 +894,12 @@ runGraph(const Dfg &g, int scratchElems, int outElems, uint32_t seed,
     dram.fill("in", input);
     dram.resize("scratch", static_cast<size_t>(scratchElems) * 4);
     dram.resize("out", static_cast<size_t>(outElems) * 4);
-    auto stats = graph::execute(g, dram, {}, 1u << 24, policy,
-                                num_threads);
+    auto stats =
+        executor == graph::ExecutorKind::bytecode
+            ? graph::execute(graph::BytecodeProgram::compile(g), dram,
+                             {}, 1u << 24, policy, num_threads)
+            : graph::execute(g, dram, {}, 1u << 24, policy,
+                             num_threads);
     EXPECT_TRUE(stats.drained);
     if (statsOut)
         *statsOut = stats;
@@ -1010,6 +1016,31 @@ diffOnce(uint32_t seed, int stages, const GraphPassOptions &gopts)
                     " diverged under policy " + pc.name;
             }
         }
+    }
+    // Executor oracle: the bytecode dispatch loop must reproduce the
+    // step-object executor's DRAM effects bit-for-bit on both the raw
+    // and the optimized graph (one policy suffices — the tri-policy
+    // matrix above already certifies schedule independence).
+    {
+        graph::ExecStats sa, sb;
+        auto a = runGraph(gen.graph, gen.scratchElems, gen.outElems,
+                          seed, dataflow::Engine::Policy::worklist, 0,
+                          &sa, graph::ExecutorKind::bytecode);
+        auto b = runGraph(optimized, gen.scratchElems, gen.outElems,
+                          seed, dataflow::Engine::Policy::worklist, 0,
+                          &sb, graph::ExecutorKind::bytecode);
+        for (size_t d = 0; d < a.size(); ++d) {
+            if (a[d] != first_raw[d]) {
+                return "DRAM region " + std::to_string(d) +
+                    " diverged between executors on the raw graph";
+            }
+            if (a[d] != b[d]) {
+                return "DRAM region " + std::to_string(d) +
+                    " diverged under executor=bytecode";
+            }
+        }
+        if (sa.sramParkedEnd != 0 || sb.sramParkedEnd != 0)
+            return "bytecode run left park slots occupied";
     }
     return "";
 }
