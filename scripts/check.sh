@@ -35,7 +35,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 SUITES=(absint apps bytecode core dataflow fuzz graph interp lang passes
-        sim sltf)
+        serve sim sltf)
 
 smoke() {
     local build_dir="$1"
@@ -159,6 +159,12 @@ if [[ "$sanitize" != OFF ]]; then
     # executor oracle at the pinned seed).
     echo "== bytecode/step executor differential (sanitized)"
     "$build_dir/tests/revet_test_bytecode"
+    # The serving layer recycles execution contexts across requests and
+    # shares one immutable artifact between worker threads — lifetime
+    # and aliasing bugs there are exactly ASan territory (and the
+    # concurrent batteries are TSan territory below).
+    echo "== serving layer suite (sanitized)"
+    "$build_dir/tests/revet_test_serve"
     if [[ "$sanitize" == thread ]]; then
         # The parallel work-stealing scheduler is the reason the TSan
         # preset exists: re-run the scheduler suite (tri-policy matrix +
@@ -174,6 +180,13 @@ if [[ "$sanitize" != OFF ]]; then
         # under TSan with real cross-thread channel traffic.
         echo "== bytecode/step executor differential (TSan, 4 workers)"
         REVET_NUM_THREADS=4 "$build_dir/tests/revet_test_bytecode"
+        # Serving batteries under TSan: serveBatch's worker threads,
+        # the context pool's acquire/release handoff, and the artifact
+        # cache's compile-under-lock dedup all run with the engine's
+        # parallel policy forced onto 4 workers, so artifact sharing is
+        # exercised with real cross-thread traffic.
+        echo "== serving layer suite (TSan, 4 workers)"
+        REVET_NUM_THREADS=4 "$build_dir/tests/revet_test_serve"
         echo "== check.sh: all green (TSan)"
     else
         echo "== check.sh: all green (ASan+UBSan)"

@@ -15,7 +15,11 @@ runApp(const App &app, int scale, const CompileOptions &copts,
     // analysis must describe the same machine.
     CompileOptions co = copts;
     co.graphOpt.machine = machine;
-    auto prog = CompiledProgram::compile(app.source, co);
+    // Through the artifact cache: the suites run the same app at many
+    // scales and under repeated fixtures, and only (source, options)
+    // changes the artifact — re-lowering per run was pure waste (the
+    // compile-count test in tests/core/test_serve.cc pins this).
+    auto prog = CompiledProgram::fromCache(app.source, co);
 
     lang::DramImage dram(prog.hir());
     auto args = app.generate(dram, scale);

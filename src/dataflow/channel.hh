@@ -177,6 +177,20 @@ class Channel
     /** Drain the remaining contents into a TokenStream (post-run). */
     TokenStream drain();
 
+    /** Return the channel to its just-constructed state — FIFO, the
+     * lifetime token count, and the value watch all cleared — so an
+     * execution context can serve a fresh request over the same wiring
+     * (graph::ExecutionContext). Setup-only, like setCapacity: must
+     * not race with an active run. */
+    void
+    resetForReuse()
+    {
+        fifo_.clear();
+        size_.store(0, std::memory_order_relaxed);
+        total_pushed_ = 0;
+        watch_ = ValueWatch{};
+    }
+
     /** The process that pushes into this channel (may be null). */
     Process *producer() const { return producer_; }
     /** The process that pops from this channel (may be null). */

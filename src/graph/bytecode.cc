@@ -182,14 +182,6 @@ class BytecodeProc final : public dataflow::Process
             outs_.push_back(chans[prog.chans[inst.outs + i]]);
         declareIo(ins_, outs_);
         switch (inst.op) {
-          case BcOp::source:
-            seed_ = inst.arg < 0
-                        ? sltf::StreamBuilder().d(0).b(1).build()
-                        : sltf::StreamBuilder()
-                              .d(static_cast<Word>(arg_value))
-                              .b(1)
-                              .build();
-            break;
           case BcOp::block:
             regs_.resize(inst.nRegs, 0);
             ops_ = prog.ops.data() + inst.ops;
@@ -201,12 +193,46 @@ class BytecodeProc final : public dataflow::Process
             a_.assign(ins_.begin(), ins_.begin() + inst.nOuts);
             b_.assign(ins_.begin() + inst.nOuts, ins_.end());
             break;
-          case BcOp::reduce:
-            acc_ = inst.init;
-            break;
           default:
             break;
         }
+        reset(arg_value);
+    }
+
+    /**
+     * Re-arm for a fresh request: re-seed the source stream from
+     * @p arg_value and return every per-run member — stream cursor,
+     * counter/merge/reduce mode machines, keyed-park table, ordinal
+     * counter — to its initial state. The structural wiring (bundles,
+     * block op/reg pointers) set up in the constructor is untouched.
+     * Called by the constructor and by ExecutionContext::run between
+     * requests; setup-only, like Channel::resetForReuse.
+     */
+    void
+    reset(int32_t arg_value)
+    {
+        if (inst_.op == BcOp::source) {
+            seed_ = inst_.arg < 0
+                        ? sltf::StreamBuilder().d(0).b(1).build()
+                        : sltf::StreamBuilder()
+                              .d(static_cast<Word>(arg_value))
+                              .b(1)
+                              .build();
+        }
+        pos_ = 0;
+        cmode_ = CtrMode::idle;
+        cur_ = lim_ = stride_ = 0;
+        acc_ = inst_.init;
+        in_group_ = false;
+        mmode_ = MergeMode::flow;
+        pending_level_ = 0;
+        back_data_since_barrier_ = false;
+        pending_echoes_.clear();
+        buffered_.clear();
+        next_ordinal_ = 0;
+        value_batches_ = 0;
+        key_batches_ = 0;
+        count_ = 0;
     }
 
     bool
@@ -698,8 +724,8 @@ class BytecodeProc final : public dataflow::Process
         Token tok = in->pop();
         if (tok.isData()) {
             std::lock_guard<std::mutex> guard(mem_->mu);
-            ++mem_->stats.sramAccesses;
-            ++mem_->stats.sramParkedElems;
+            ++mem_->stats->sramAccesses;
+            ++mem_->stats->sramParkedElems;
             mem_->parkSlot();
         }
         out->push(tok);
@@ -717,7 +743,7 @@ class BytecodeProc final : public dataflow::Process
         Token tok = in->pop();
         if (tok.isData()) {
             std::lock_guard<std::mutex> guard(mem_->mu);
-            ++mem_->stats.sramAccesses;
+            ++mem_->stats->sramAccesses;
             mem_->releaseSlot();
         }
         out->push(tok);
@@ -766,7 +792,7 @@ class BytecodeProc final : public dataflow::Process
         key->pop();
         {
             std::lock_guard<std::mutex> guard(mem_->mu);
-            ++mem_->stats.sramAccesses;
+            ++mem_->stats->sramAccesses;
             mem_->releaseSlot();
         }
         out->push(Token::data(it->second.value));
@@ -861,38 +887,122 @@ class BytecodeProc final : public dataflow::Process
 
 } // namespace
 
+/**
+ * Everything one context instantiates once and rebinds per request:
+ * the engine (which owns the channels and processes), raw views onto
+ * both for the per-run reset sweep, and the machine memory whose
+ * DRAM/stats pointers move from request to request. BytecodeProc has
+ * internal linkage, which is why the context is pimpl'd.
+ */
+struct ExecutionContext::Impl
+{
+    const BytecodeProgram &prog;
+    dataflow::Engine engine;
+    std::vector<Channel *> chans;
+    std::vector<BytecodeProc *> procs;
+    std::shared_ptr<MachineMemory> mem;
+    uint64_t runs = 0;
+    bool poisoned = false;
+
+    Impl(const BytecodeProgram &p, const ContextOptions &opts)
+        : prog(p), engine(dataflow::Engine::Policy::worklist),
+          mem(std::make_shared<MachineMemory>())
+    {
+        mem->hoistArena = opts.hoistAllocators;
+        chans.resize(prog.numLinks, nullptr);
+        for (size_t i = 0; i < prog.numLinks; ++i)
+            chans[i] = engine.channel(prog.linkNames[i]);
+        procs.reserve(prog.insts.size());
+        for (const BcInst &inst : prog.insts) {
+            // Seeded with arg 0 for now; every run() re-seeds from the
+            // request's actual arguments before the engine moves.
+            procs.push_back(
+                engine.make<BytecodeProc>(prog, inst, chans, mem, 0));
+        }
+    }
+};
+
+ExecutionContext::ExecutionContext(const BytecodeProgram &prog,
+                                   const ContextOptions &opts)
+    : impl_(new Impl(prog, opts))
+{}
+
+ExecutionContext::~ExecutionContext() = default;
+
+const BytecodeProgram &
+ExecutionContext::program() const
+{
+    return impl_->prog;
+}
+
+uint64_t
+ExecutionContext::runsServed() const
+{
+    return impl_->runs;
+}
+
+bool
+ExecutionContext::poisoned() const
+{
+    return impl_->poisoned;
+}
+
+ExecStats
+ExecutionContext::run(lang::DramImage &dram,
+                      const std::vector<int32_t> &args,
+                      dataflow::Engine::Policy policy, int num_threads,
+                      uint64_t max_rounds)
+{
+    Impl &im = *impl_;
+    if (args.size() < im.prog.numArgs)
+        throw std::runtime_error("dataflow program expects more arguments");
+
+    ExecStats stats;
+    stats.graphNodes = im.prog.insts.size();
+    stats.graphLinks = im.prog.numLinks;
+
+    // Full per-request reset *before* the run, so a request never
+    // inherits residue: memory pointed at this request's image/stats,
+    // channels to empty, every instruction's mode machines re-armed
+    // with this request's arguments.
+    im.mem->rebind(dram, stats);
+    im.mem->beginRun();
+    for (Channel *ch : im.chans)
+        ch->resetForReuse();
+    for (size_t i = 0; i < im.procs.size(); ++i) {
+        const BcInst &inst = im.prog.insts[i];
+        const int32_t arg_value =
+            inst.op == BcOp::source && inst.arg >= 0 ? args[inst.arg] : 0;
+        im.procs[i]->reset(arg_value);
+    }
+
+    im.engine.setPolicy(policy);
+    im.engine.setNumThreads(num_threads);
+    // Pessimistic: cleared only when the run reaches quiescence. A
+    // throw below (livelock, machine-model violation) leaves channel
+    // and memory state mid-request; the reset above makes the *next*
+    // run safe regardless, but pools read this to retire the context.
+    im.poisoned = true;
+    stats.engineRounds = im.engine.run(max_rounds);
+    detail::collectRunStats(im.engine, im.prog.numLinks, stats);
+    stats.sramParkedEnd = im.mem->parkedNow;
+    im.poisoned = false;
+    ++im.runs;
+    return stats;
+}
+
 ExecStats
 execute(const BytecodeProgram &prog, lang::DramImage &dram,
         const std::vector<int32_t> &args, uint64_t max_rounds,
         dataflow::Engine::Policy policy, int num_threads)
 {
-    ExecStats stats;
-    stats.graphNodes = prog.insts.size();
-    stats.graphLinks = prog.numLinks;
-    auto mem = std::make_shared<MachineMemory>(dram, stats);
-
-    dataflow::Engine engine(policy);
-    engine.setNumThreads(num_threads);
-    std::vector<Channel *> chans(prog.numLinks, nullptr);
-    for (size_t i = 0; i < prog.numLinks; ++i)
-        chans[i] = engine.channel(prog.linkNames[i]);
-
-    for (const BcInst &inst : prog.insts) {
-        int32_t arg_value = 0;
-        if (inst.op == BcOp::source && inst.arg >= 0) {
-            if (static_cast<size_t>(inst.arg) >= args.size()) {
-                throw std::runtime_error(
-                    "dataflow program expects more arguments");
-            }
-            arg_value = args[inst.arg];
-        }
-        engine.make<BytecodeProc>(prog, inst, chans, mem, arg_value);
-    }
-
-    stats.engineRounds = engine.run(max_rounds);
-    detail::collectRunStats(engine, prog.numLinks, stats);
-    stats.sramParkedEnd = mem->parkedNow;
-    return stats;
+    // One-shot path: a throwaway context with arena hoisting off (there
+    // is no second request to reuse it). Keeps a single implementation
+    // of the run sequence for both the one-shot and serving paths.
+    ContextOptions opts;
+    opts.hoistAllocators = false;
+    ExecutionContext ctx(prog, opts);
+    return ctx.run(dram, args, policy, num_threads, max_rounds);
 }
 
 } // namespace graph

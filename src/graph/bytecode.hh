@@ -25,6 +25,7 @@
 #define REVET_GRAPH_BYTECODE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -132,12 +133,87 @@ struct BytecodeProgram
     static BytecodeProgram compile(const Dfg &dfg);
 };
 
+/** Per-context executor knobs. Derived from core::CompileOptions by
+ * the serving layer; semantics-neutral (results never depend on them,
+ * only allocation behavior and stats). */
+struct ContextOptions
+{
+    /** Hoist SRAM allocation into the reusable context: a reused
+     * ExecutionContext re-zeroes and hands back the arena buffers the
+     * previous request grew instead of allocating fresh ones
+     * (GraphToggles::hoistAllocators landing in the executor; arena
+     * hits are counted in ExecStats::sramArenaReused). */
+    bool hoistAllocators = true;
+};
+
+/**
+ * The per-request half of the compile-once/run-many split.
+ *
+ * A BytecodeProgram is immutable and shareable across threads; running
+ * it needs mutable state — channel FIFOs, each instruction's register
+ * file and internal mode machines, the SRAM arena, a DRAM image and a
+ * stats block. An ExecutionContext instantiates all of that once
+ * (engine, channels, one process per instruction) and rebinds it to a
+ * fresh request on every run() instead of rebuilding it: channels are
+ * cleared, per-instruction state is re-armed with the request's
+ * arguments, and the machine memory is pointed at the request's DRAM
+ * image and stats. Contexts are single-request-at-a-time (pool them
+ * for concurrency — core/serve.hh); handing a context between threads
+ * across requests is safe when the handoff synchronizes (the pool's
+ * mutex does).
+ *
+ * The referenced program must outlive the context.
+ */
+class ExecutionContext
+{
+  public:
+    explicit ExecutionContext(const BytecodeProgram &prog,
+                              const ContextOptions &opts = {});
+    ~ExecutionContext();
+
+    ExecutionContext(const ExecutionContext &) = delete;
+    ExecutionContext &operator=(const ExecutionContext &) = delete;
+
+    /**
+     * Serve one request: reset all per-run state, bind @p dram /
+     * @p args, and run the program to quiescence. Identical results
+     * contract to graph::execute — the policy, thread count, and
+     * whether the context is fresh or reused are observable only
+     * through stats. @throws std::runtime_error on machine-model
+     * violations, livelock, or missing arguments (the context remains
+     * reusable: the next run() starts from a full reset, but
+     * poisoned() reports the failure so pools can discard).
+     */
+    ExecStats run(lang::DramImage &dram,
+                  const std::vector<int32_t> &args,
+                  dataflow::Engine::Policy policy =
+                      dataflow::Engine::Policy::worklist,
+                  int num_threads = 0,
+                  uint64_t max_rounds =
+                      dataflow::Engine::defaultMaxRounds);
+
+    const BytecodeProgram &program() const;
+
+    /** Requests served to completion (successful run() calls). */
+    uint64_t runsServed() const;
+
+    /** True after a run() threw: state was left mid-request. run()
+     * self-heals via the full reset, but pools use this to retire the
+     * context instead of recycling it. */
+    bool poisoned() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /**
  * Execute compiled @p prog against @p dram with main's @p args.
  * Identical contract to graph::execute(const Dfg &, ...) — same stats,
  * same policies, same machine-model exceptions — and bit-identical
  * DRAM/link traffic to it on every program (the differential suite
- * enforces this).
+ * enforces this). One-shot convenience over ExecutionContext: builds a
+ * fresh context, runs once, tears it down.
  */
 ExecStats execute(const BytecodeProgram &prog, lang::DramImage &dram,
                   const std::vector<int32_t> &args,

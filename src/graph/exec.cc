@@ -54,13 +54,13 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
       case OpKind::sramAlloc:
         return mem.alloc(op.size);
       case OpKind::sramRead: {
-        ++mem.stats.sramAccesses;
+        ++mem.stats->sramAccesses;
         auto *buf = mem.buffer(A());
         uint32_t idx = B();
         return idx < buf->size() ? normalize(op.elem, (*buf)[idx]) : 0;
       }
       case OpKind::sramWrite: {
-        ++mem.stats.sramAccesses;
+        ++mem.stats->sramAccesses;
         auto *buf = mem.buffer(A());
         uint32_t idx = B();
         if (idx < buf->size())
@@ -69,7 +69,7 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
       }
       case OpKind::rmwAdd:
       case OpKind::rmwSub: {
-        ++mem.stats.sramAccesses;
+        ++mem.stats->sramAccesses;
         auto *buf = mem.buffer(A());
         uint32_t idx = B();
         if (idx >= buf->size())
@@ -81,14 +81,14 @@ evalOp(const BlockOp &op, std::vector<Word> &regs, MachineMemory &mem)
         return normalize(op.elem, old);
       }
       case OpKind::dramRead: {
-        ++mem.stats.dramReadElems;
-        mem.stats.dramReadBytes += lang::dramElemBytes(op.elem);
-        return mem.dram.load(op.dram, A());
+        ++mem.stats->dramReadElems;
+        mem.stats->dramReadBytes += lang::dramElemBytes(op.elem);
+        return mem.dram->load(op.dram, A());
       }
       case OpKind::dramWrite: {
-        ++mem.stats.dramWriteElems;
-        mem.stats.dramWriteBytes += lang::dramElemBytes(op.elem);
-        mem.dram.store(op.dram, A(), B());
+        ++mem.stats->dramWriteElems;
+        mem.stats->dramWriteBytes += lang::dramElemBytes(op.elem);
+        mem.dram->store(op.dram, A(), B());
         return 0;
       }
       default:
@@ -203,7 +203,7 @@ class KeyedRestore : public dataflow::Process
         key_->pop();
         {
             std::lock_guard<std::mutex> guard(mem_->mu);
-            ++mem_->stats.sramAccesses;
+            ++mem_->stats->sramAccesses;
             mem_->releaseSlot();
         }
         out_->push(Token::data(it->second.value));
@@ -399,8 +399,8 @@ execute(const Dfg &dfg, lang::DramImage &dram,
                             std::vector<Word> &out) {
                 {
                     std::lock_guard<std::mutex> guard(mem->mu);
-                    ++mem->stats.sramAccesses;
-                    ++mem->stats.sramParkedElems;
+                    ++mem->stats->sramAccesses;
+                    ++mem->stats->sramParkedElems;
                     mem->parkSlot();
                 }
                 out.push_back(in[0]);
@@ -422,7 +422,7 @@ execute(const Dfg &dfg, lang::DramImage &dram,
                             std::vector<Word> &out) {
                 {
                     std::lock_guard<std::mutex> guard(mem->mu);
-                    ++mem->stats.sramAccesses;
+                    ++mem->stats->sramAccesses;
                     mem->releaseSlot();
                 }
                 out.push_back(in[0]);

@@ -42,16 +42,25 @@ namespace detail
  * serialization does not perturb results: every DRAM/SRAM cell has a
  * single writer per program point in well-formed Revet programs, and
  * rmw ops are commutative (add/sub), so operation order across threads
- * cannot change final memory. Stats counters are pure sums. */
+ * cannot change final memory. Stats counters are pure sums.
+ *
+ * The DRAM image and stats block are *per-request* state referenced
+ * through rebindable pointers: a reusable execution context
+ * (graph::ExecutionContext) keeps one MachineMemory for its lifetime
+ * and points it at each request's image/stats via rebind() +
+ * beginRun(). One-shot executors bind at construction and never
+ * rebind. */
 struct MachineMemory
 {
+    MachineMemory() = default;
+
     MachineMemory(lang::DramImage &dram_ref, ExecStats &stats_ref)
-        : dram(dram_ref), stats(stats_ref)
+        : dram(&dram_ref), stats(&stats_ref)
     {}
 
-    lang::DramImage &dram;
+    lang::DramImage *dram = nullptr;
     std::vector<std::vector<uint32_t>> heap;
-    ExecStats &stats;
+    ExecStats *stats = nullptr;
     /** Serializes heap growth, DRAM image access, and stats updates
      * across engine worker threads. */
     std::mutex mu;
@@ -59,21 +68,56 @@ struct MachineMemory
      * the high-water mark lands in ExecStats::sramParkedPeak and the
      * post-run residue in ExecStats::sramParkedEnd. */
     uint64_t parkedNow = 0;
+    /** SRAM handles live this run; handles are assigned densely from 0
+     * each run, so this (not heap.size()) is the dangling bound when
+     * the arena below outlives a request. */
+    uint32_t liveAllocs = 0;
+    /** Keep the allocator arena across runs (GraphToggles::
+     * hoistAllocators landing in the executor): alloc() re-zeroes and
+     * reuses the buffer a previous request left in the slot instead of
+     * growing the heap. Off: beginRun() drops the arena, every run
+     * allocates from scratch. */
+    bool hoistArena = false;
+
+    /** Point this memory at the next request's image/stats and clear
+     * all per-run state. Setup-only (no run in flight). */
+    void
+    rebind(lang::DramImage &dram_ref, ExecStats &stats_ref)
+    {
+        dram = &dram_ref;
+        stats = &stats_ref;
+    }
+
+    /** Reset per-run state; call before every run (the one-shot
+     * executors rely on the constructor state instead). */
+    void
+    beginRun()
+    {
+        if (!hoistArena)
+            heap.clear();
+        liveAllocs = 0;
+        parkedNow = 0;
+    }
 
     uint32_t
     alloc(int64_t size)
     {
-        heap.emplace_back(static_cast<size_t>(size), 0u);
-        ++stats.sramAllocs;
-        return static_cast<uint32_t>(heap.size() - 1);
+        if (liveAllocs < heap.size()) {
+            heap[liveAllocs].assign(static_cast<size_t>(size), 0u);
+            ++stats->sramArenaReused;
+        } else {
+            heap.emplace_back(static_cast<size_t>(size), 0u);
+        }
+        ++stats->sramAllocs;
+        return liveAllocs++;
     }
 
     void
     parkSlot()
     {
         ++parkedNow;
-        if (parkedNow > stats.sramParkedPeak)
-            stats.sramParkedPeak = parkedNow;
+        if (parkedNow > stats->sramParkedPeak)
+            stats->sramParkedPeak = parkedNow;
     }
 
     void
@@ -85,7 +129,7 @@ struct MachineMemory
     std::vector<uint32_t> *
     buffer(uint32_t handle)
     {
-        if (handle >= heap.size())
+        if (handle >= liveAllocs)
             throw std::runtime_error("dangling SRAM handle in dataflow");
         return &heap[handle];
     }
